@@ -1,0 +1,28 @@
+# Convenience targets for the PDS2 reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/healthcare_gossip.py
+	$(PYTHON) examples/energy_rewards.py
+	$(PYTHON) examples/device_authenticity.py
+	$(PYTHON) examples/private_training.py
+	$(PYTHON) examples/token_marketplace.py
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,100 @@
+"""E11 (Section IV-D): DP noise shrinks membership-inference leakage.
+
+The experiment the paper's privacy discussion implies: train the same
+memorization-prone model with and without DP-SGD at a sweep of epsilon
+targets, attack each with loss-threshold membership inference, and chart
+attack advantage (the leak) against model accuracy (the cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.datasets import make_binary_classification
+from repro.ml.models import MLPClassifier
+from repro.privacy.attacks import membership_inference_attack
+from repro.privacy.dpsgd import (
+    DPSGDConfig,
+    noise_multiplier_for_epsilon,
+    train_dpsgd,
+)
+from reporting import format_table, report
+
+MEMBERS = 60
+STEPS = 300
+BATCH = 12
+EPSILONS = [8.0, 2.0, 0.5]
+
+
+def setup_data():
+    rng = np.random.default_rng(777)
+    data = make_binary_classification(4 * MEMBERS, 8, rng, noise=4.0)
+    members = data.subset(np.arange(0, MEMBERS))
+    nonmembers = data.subset(np.arange(MEMBERS, 2 * MEMBERS))
+    test = data.subset(np.arange(2 * MEMBERS, 4 * MEMBERS))
+    return members, nonmembers, test
+
+
+def fresh_model():
+    return MLPClassifier(8, 64, 2, init_rng=np.random.default_rng(1))
+
+
+def attack(model, members, nonmembers):
+    return membership_inference_attack(
+        model, members.features, members.targets.astype(int),
+        nonmembers.features, nonmembers.targets.astype(int),
+    )
+
+
+def test_e11_epsilon_sweep(benchmark):
+    members, nonmembers, test = setup_data()
+    rows = []
+
+    # The no-DP, heavily-overfit control arm.
+    baseline = fresh_model()
+    baseline.train_steps(members.features, members.targets.astype(int),
+                         2000, 0.3, MEMBERS, np.random.default_rng(2))
+    base_attack = attack(baseline, members, nonmembers)
+    base_acc = baseline.score(test.features, test.targets.astype(int))
+    rows.append(["inf (no DP)", f"{base_attack.advantage:.3f}",
+                 f"{base_attack.auc:.3f}", f"{base_acc:.3f}"])
+
+    advantages = [base_attack.advantage]
+    for epsilon in EPSILONS:
+        noise = noise_multiplier_for_epsilon(epsilon, BATCH / MEMBERS,
+                                             STEPS)
+        model = fresh_model()
+        result = train_dpsgd(
+            model, members.features, members.targets.astype(int),
+            DPSGDConfig(clip_norm=1.0, noise_multiplier=noise,
+                        learning_rate=0.3, batch_size=BATCH, steps=STEPS),
+            np.random.default_rng(3),
+        )
+        dp_attack = attack(model, members, nonmembers)
+        accuracy = model.score(test.features, test.targets.astype(int))
+        advantages.append(dp_attack.advantage)
+        rows.append([f"{result.epsilon:.2f}",
+                     f"{dp_attack.advantage:.3f}",
+                     f"{dp_attack.auc:.3f}", f"{accuracy:.3f}"])
+
+    def one_dp_run():
+        model = fresh_model()
+        return train_dpsgd(
+            model, members.features, members.targets.astype(int),
+            DPSGDConfig(noise_multiplier=2.0, steps=50, batch_size=BATCH),
+            np.random.default_rng(4),
+        )
+
+    benchmark.pedantic(one_dp_run, rounds=2, iterations=1)
+
+    report("E11", "membership-inference advantage vs epsilon",
+           format_table(
+               ["epsilon", "attack advantage", "attack AUC",
+                "test accuracy"],
+               rows,
+           ))
+
+    # The non-private model must leak substantially...
+    assert advantages[0] > 0.4
+    # ...and every DP arm must cut that leak by at least half.
+    assert all(adv < advantages[0] / 2 for adv in advantages[1:])

@@ -1,0 +1,87 @@
+"""E12 (Section VI): governance-layer scalability.
+
+"As PDS2 aims to be a global, open platform, its scalability is an
+important aspect."  This experiment grows the provider pool and measures
+what the governance layer actually charges: total gas per workload, gas per
+provider, blocks, and end-to-end wall time.  Gas should grow linearly in
+the number of participants (one participation record each) over a constant
+per-workload base — no superlinear term.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
+from repro.ml.datasets import (
+    make_iot_activity,
+    split_dirichlet,
+    train_test_split,
+)
+from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+from reporting import format_table, report
+
+PROVIDER_COUNTS = [8, 16, 32]
+
+
+def run_market(num_providers: int):
+    rng = np.random.default_rng(3000 + num_providers)
+    data = make_iot_activity(max(400, 40 * num_providers), rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, num_providers, alpha=1.0, rng=rng,
+                            min_samples=5)
+    market = Marketplace(seed=5)
+    for index, part in enumerate(parts):
+        market.add_provider(
+            f"u{index}", part, SemanticAnnotation("heart_rate", {})
+        )
+    consumer = market.add_consumer("lab", validation=validation)
+    market.add_executor("e0")
+    market.add_executor("e1")
+    spec = WorkloadSpec(
+        workload_id=f"e12-{num_providers}",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=40, learning_rate=0.3),
+        reward_pool=1_000_000,
+        min_providers=num_providers // 2,
+        min_samples=10,
+        required_confirmations=1,
+    )
+    start = time.perf_counter()
+    result = market.run_workload(consumer, spec)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_e12_gas_scales_linearly(benchmark):
+    rows = []
+    gas_per_provider = []
+    for count in PROVIDER_COUNTS:
+        result, elapsed = run_market(count)
+        assert result.audit.clean
+        per_provider = result.gas_used / count
+        gas_per_provider.append(per_provider)
+        rows.append([
+            count, f"{result.gas_used:,}", f"{per_provider:,.0f}",
+            result.blocks_mined, f"{elapsed:.1f}",
+        ])
+
+    benchmark.pedantic(lambda: run_market(8), rounds=1, iterations=1)
+
+    report("E12", "governance gas vs marketplace size",
+           format_table(
+               ["providers", "total gas", "gas/provider", "blocks",
+                "wall s"],
+               rows,
+           ))
+
+    # Sub-linear marginal cost: per-provider gas falls (or is flat) as the
+    # fixed per-workload overhead amortizes; no superlinear blow-up.
+    assert gas_per_provider[-1] <= gas_per_provider[0] * 1.10
+    # Total gas grows sublinearly relative to 2x provider steps.
+    total_gas = [float(row[1].replace(",", "")) for row in rows]
+    assert total_gas[-1] < total_gas[0] * (PROVIDER_COUNTS[-1] /
+                                           PROVIDER_COUNTS[0]) * 1.2

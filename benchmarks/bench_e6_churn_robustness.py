@@ -1,0 +1,88 @@
+"""E6 (Section III-C): robustness to churn and coordinator failure.
+
+The paper's argument against federated learning is its central coordinator:
+a scalability bottleneck and a single point of failure.  This experiment
+sweeps node availability and compares:
+
+* gossip accuracy (mean over online nodes) — should degrade gracefully;
+* FedAvg with a *reliable* server — the generous baseline;
+* FedAvg whose server churns like every other node — the honest
+  comparison for a marketplace with no privileged entity; its completed
+  round count collapses.
+"""
+
+from __future__ import annotations
+
+
+from repro.ml.federated import FederatedConfig, FederatedTrainer
+from repro.ml.gossip import GossipConfig, GossipTrainer
+from repro.ml.models import SoftmaxRegressionModel
+from repro.net.churn import ChurnModel
+from reporting import format_table, report
+
+DURATION_S = 1200.0
+AVAILABILITIES = [1.0, 0.8, 0.5, 0.3]
+
+
+def factory():
+    return SoftmaxRegressionModel(6, 5)
+
+
+def test_e6_churn_sweep(benchmark, har_problem):
+    parts, test = har_problem
+    rows = []
+    gossip_scores = []
+    fed_churned_rounds = []
+    fed_reliable_rounds = []
+
+    for availability in AVAILABILITIES:
+        churn = (None if availability == 1.0
+                 else ChurnModel.from_availability(availability,
+                                                   mean_online_s=60))
+        gossip = GossipTrainer(
+            factory, parts, test,
+            GossipConfig(wake_interval_s=10, learning_rate=0.3),
+            seed=3, churn=churn,
+        ).run(DURATION_S, DURATION_S)
+        fed_reliable = FederatedTrainer(
+            factory, parts, test,
+            FederatedConfig(round_interval_s=30, learning_rate=0.3),
+            seed=3, churn=churn, server_subject_to_churn=False,
+        ).run(DURATION_S, DURATION_S)
+        fed_churned = FederatedTrainer(
+            factory, parts, test,
+            FederatedConfig(round_interval_s=30, learning_rate=0.3),
+            seed=3, churn=churn, server_subject_to_churn=True,
+        ).run(DURATION_S, DURATION_S)
+        gossip_scores.append(gossip.final_online_score)
+        fed_churned_rounds.append(fed_churned.rounds_completed)
+        fed_reliable_rounds.append(fed_reliable.rounds_completed)
+        rows.append([
+            f"{availability:.0%}",
+            f"{gossip.final_online_score:.3f}",
+            f"{fed_reliable.final_score:.3f}",
+            f"{fed_churned.final_score:.3f}",
+            fed_reliable.rounds_completed,
+            fed_churned.rounds_completed,
+        ])
+
+    benchmark.pedantic(
+        lambda: GossipTrainer(
+            factory, parts, test, GossipConfig(learning_rate=0.3), seed=4,
+            churn=ChurnModel.from_availability(0.5),
+        ).run(300.0, 300.0),
+        rounds=2, iterations=1,
+    )
+
+    report("E6", "availability sweep: gossip vs fedavg",
+           format_table(
+               ["availability", "gossip acc", "fed acc (reliable srv)",
+                "fed acc (churned srv)", "fed rounds (rel)",
+                "fed rounds (churn)"],
+               rows,
+           ))
+
+    # Gossip at 30% availability still learns something real.
+    assert gossip_scores[-1] > 0.45
+    # A churned coordinator completes far fewer rounds than a reliable one.
+    assert fed_churned_rounds[-1] < 0.6 * fed_reliable_rounds[-1]

@@ -1,0 +1,105 @@
+"""E7 (Section IV-A): Shapley valuation — exponential exact cost, cheap
+approximations.
+
+The paper flags that "the complexity of calculating the Shapley value is
+exponential, and thus it is unfeasible to use it as is".  This experiment
+measures that wall: exact valuation time and coalition evaluations versus
+provider count, then shows the practical alternatives (permutation Monte
+Carlo and truncated MC) matching the exact values to a few percent at a
+fraction of the evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ml.datasets import (
+    make_iot_activity,
+    split_dirichlet,
+    train_test_split,
+)
+from repro.ml.models import SoftmaxRegressionModel
+from repro.rewards.shapley import (
+    CachedValueFunction,
+    DataValuationTask,
+    exact_shapley,
+    leave_one_out,
+    monte_carlo_shapley,
+    truncated_monte_carlo_shapley,
+)
+from reporting import format_table, report
+
+
+def build_task(num_providers: int, seed: int = 17) -> DataValuationTask:
+    rng = np.random.default_rng(seed)
+    data = make_iot_activity(150 * num_providers, rng)
+    train, validation = train_test_split(data, 0.3, rng)
+    parts = split_dirichlet(train, num_providers, 0.5, rng, min_samples=5)
+    return DataValuationTask(
+        model_factory=lambda: SoftmaxRegressionModel(6, 5),
+        provider_datasets=parts, validation=validation,
+        train_steps=40, learning_rate=0.3, seed=seed,
+    )
+
+
+def test_e7_exact_cost_grows_exponentially(benchmark):
+    rows = []
+    times = []
+    for n in (4, 6, 8, 10):
+        task = build_task(n)
+        start = time.perf_counter()
+        exact_shapley(n, task)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        rows.append([n, 2**n, f"{elapsed:.2f}"])
+
+    benchmark.pedantic(lambda: exact_shapley(6, build_task(6)), rounds=2,
+                       iterations=1)
+
+    report("E7a", "exact Shapley cost vs provider count",
+           format_table(["providers", "coalitions", "seconds"], rows))
+
+    # Doubling the player count by +2 should multiply cost by roughly 4x
+    # (2^n coalitions); demand at least geometric growth overall.
+    assert times[-1] > 8 * times[0]
+
+
+def test_e7_approximations_track_exact(benchmark, rng):
+    n = 8
+    task = build_task(n)
+    exact = exact_shapley(n, task)
+    scale = np.abs(exact).sum() or 1.0
+
+    mc_task = CachedValueFunction(task)
+    mc = monte_carlo_shapley(n, mc_task, permutations=40, rng=rng)
+    mc_evals = mc_task.evaluations
+
+    tmc = truncated_monte_carlo_shapley(n, task, permutations=40, rng=rng,
+                                        tolerance=0.02)
+    tmc_evals = truncated_monte_carlo_shapley.last_evaluations
+
+    loo = leave_one_out(n, task)
+
+    def rel_error(estimate):
+        return float(np.abs(estimate - exact).sum() / scale)
+
+    benchmark.pedantic(
+        lambda: monte_carlo_shapley(n, task, 10, np.random.default_rng(1)),
+        rounds=2, iterations=1,
+    )
+
+    rows = [
+        ["exact", 2**n, "0.000"],
+        ["monte carlo (40 perms)", mc_evals, f"{rel_error(mc):.3f}"],
+        ["truncated MC (40 perms)", tmc_evals, f"{rel_error(tmc):.3f}"],
+        ["leave-one-out", n + 1, f"{rel_error(loo):.3f}"],
+    ]
+    report("E7b", f"approximation quality at n={n} providers",
+           format_table(["estimator", "model fits", "rel. L1 error"], rows))
+
+    assert rel_error(mc) < 0.5
+    assert rel_error(tmc) < 0.6
+    # LOO is the cheapest and, on redundant data, the least faithful.
+    assert mc_evals < 2**n

@@ -1,0 +1,41 @@
+"""Result reporting for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md and records its
+table under ``benchmarks/results/<experiment>.txt`` (stdout is captured by
+pytest, files are not).  EXPERIMENTS.md summarizes these tables against the
+paper's claims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(experiment_id: str, title: str, lines: list[str]) -> None:
+    """Write one experiment's result table to disk (and echo to stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"{experiment_id}: {title}"
+    body = "\n".join([header, "=" * len(header), *lines, ""])
+    (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(body)
+    print("\n" + body)
+
+
+def format_table(headers: list[str], rows: list[list], widths=None) -> list[str]:
+    """Render a fixed-width text table."""
+    if widths is None:
+        widths = []
+        for index, header in enumerate(headers):
+            cells = [str(row[index]) for row in rows]
+            widths.append(max(len(header), *(len(c) for c in cells))
+                          if cells else len(header))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+        )
+    return lines

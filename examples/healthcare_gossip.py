@@ -1,0 +1,103 @@
+"""Decentralized health-data training: gossip learning vs. FedAvg.
+
+The paper's motivating scenario: thousands of wearable users hold sensitive
+physiological data that must never be pooled centrally.  Section III-C
+selects gossip learning over federated learning because the latter hinges on
+a central coordinator.  This example makes that argument concrete:
+
+1. both protocols train the same activity classifier on the same non-IID
+   partitions over the same simulated network;
+2. then the coordinator becomes unreliable (it churns like any other node) —
+   FedAvg rounds stall while gossip keeps converging.
+
+Run with::
+
+    python examples/healthcare_gossip.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.datasets import (
+    make_iot_activity,
+    split_dirichlet,
+    train_test_split,
+)
+from repro.ml.federated import FederatedConfig, FederatedTrainer
+from repro.ml.gossip import GossipConfig, GossipTrainer
+from repro.ml.models import SoftmaxRegressionModel
+from repro.net.churn import ChurnModel
+
+NODES = 30
+DURATION_S = 1200.0
+EVAL_EVERY_S = 300.0
+
+
+def model_factory() -> SoftmaxRegressionModel:
+    return SoftmaxRegressionModel(num_features=6, num_classes=5)
+
+
+def print_history(label: str, history) -> None:
+    curve = "  ".join(f"t={t:.0f}s:{score:.3f}" for t, score in history)
+    print(f"  {label:<28} {curve}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = make_iot_activity(4000, rng)
+    train, test = train_test_split(data, 0.25, rng)
+    partitions = split_dirichlet(train, NODES, alpha=0.5, rng=rng,
+                                 min_samples=20)
+    sizes = sorted(len(p) for p in partitions)
+    print(f"{NODES} wearable users, non-IID partitions "
+          f"(smallest {sizes[0]}, largest {sizes[-1]} samples)\n")
+
+    gossip_config = GossipConfig(wake_interval_s=10.0, local_steps=4,
+                                 learning_rate=0.3)
+    fed_config = FederatedConfig(round_interval_s=30.0, client_fraction=0.5,
+                                 local_steps=4, learning_rate=0.3)
+
+    # -- phase 1: reliable network ----------------------------------------------
+    print("phase 1 — reliable network")
+    gossip = GossipTrainer(model_factory, partitions, test, gossip_config,
+                           seed=1).run(DURATION_S, EVAL_EVERY_S)
+    fed = FederatedTrainer(model_factory, partitions, test, fed_config,
+                           seed=1).run(DURATION_S, EVAL_EVERY_S)
+    print_history("gossip (mean node model)", gossip.history)
+    print_history("federated (server model)", fed.history)
+    print(f"  traffic: gossip {gossip.bytes_delivered:,} B total, "
+          f"heaviest node {gossip.max_node_bytes:,} B "
+          f"({gossip.max_node_bytes / gossip.bytes_delivered:.1%})")
+    print(f"  traffic: federated {fed.bytes_delivered:,} B total, "
+          f"server carries {fed.server_bytes:,} B "
+          f"({min(1.0, fed.server_bytes / fed.bytes_delivered):.1%})\n")
+
+    # -- phase 2: the coordinator is as unreliable as everyone else ---------------
+    print("phase 2 — 50% availability churn, coordinator included")
+    churn = ChurnModel.from_availability(0.5, mean_online_s=60.0)
+    gossip_churn = GossipTrainer(
+        model_factory, partitions, test, gossip_config, seed=2, churn=churn,
+    ).run(DURATION_S, EVAL_EVERY_S)
+    fed_churn = FederatedTrainer(
+        model_factory, partitions, test, fed_config, seed=2,
+        churn=ChurnModel.from_availability(0.5, mean_online_s=60.0),
+        server_subject_to_churn=True,
+    ).run(DURATION_S, EVAL_EVERY_S)
+    print_history("gossip (mean node model)", gossip_churn.history)
+    print_history("federated (server model)", fed_churn.history)
+    print(f"  gossip online-node accuracy: "
+          f"{gossip_churn.final_online_score:.3f}, "
+          f"{gossip_churn.messages_dropped:,} messages dropped")
+    print(f"  federated rounds completed: {fed_churn.rounds_completed} "
+          f"(vs {fed.rounds_completed} with a reliable server)")
+
+    print("\nconclusion: with a reliable, well-provisioned coordinator the "
+          "two protocols are comparable;")
+    print("remove that assumption and gossip degrades gracefully while "
+          "FedAvg's round pipeline stalls —")
+    print("the decentralization argument of paper Section III-C.")
+
+
+if __name__ == "__main__":
+    main()

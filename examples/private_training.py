@@ -1,0 +1,115 @@
+"""Privacy-leak control: measuring and mitigating training leakage.
+
+Paper Section IV-D: workload outputs can leak provider data, executors
+should assess the risk and apply mitigations.  This example walks the full
+loop on a deliberately dangerous workload:
+
+1. the static risk analyzer flags an overparameterized full-model release;
+2. a membership-inference attack measures the actual leak of the
+   non-private model;
+3. DP-SGD retrains at several epsilon budgets, showing the attack advantage
+   collapse toward zero as epsilon tightens, at a measurable accuracy cost.
+
+Run with::
+
+    python examples/private_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.datasets import make_binary_classification
+from repro.ml.models import MLPClassifier
+from repro.privacy.attacks import membership_inference_attack
+from repro.privacy.dpsgd import (
+    DPSGDConfig,
+    noise_multiplier_for_epsilon,
+    train_dpsgd,
+)
+from repro.privacy.leakage import (
+    OutputKind,
+    WorkloadRiskProfile,
+    assess_workload,
+)
+
+MEMBERS = 60
+STEPS = 400
+BATCH = 12  # small sampling rate keeps tight epsilons reachable
+
+
+def attack(model, members, nonmembers):
+    return membership_inference_attack(
+        model, members.features, members.targets.astype(int),
+        nonmembers.features, nonmembers.targets.astype(int),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+    # Heavy label noise forces memorization — the worst case for leakage.
+    data = make_binary_classification(4 * MEMBERS, 8, rng, noise=4.0)
+    members = data.subset(np.arange(0, MEMBERS))
+    nonmembers = data.subset(np.arange(MEMBERS, 2 * MEMBERS))
+    test = data.subset(np.arange(2 * MEMBERS, 4 * MEMBERS))
+
+    def fresh_model():
+        return MLPClassifier(8, 64, 2, init_rng=np.random.default_rng(1))
+
+    # -- 1. static risk assessment --------------------------------------------
+    profile = WorkloadRiskProfile(
+        model_parameters=fresh_model().num_params,
+        training_samples=MEMBERS,
+        num_providers=4,
+        output_kind=OutputKind.FULL_MODEL,
+    )
+    verdict = assess_workload(profile)
+    print("static analysis of the workload (Section IV-D):")
+    print(f"  params/sample capacity score: {verdict.capacity_score:.2f}")
+    print(f"  output richness score:        {verdict.output_score:.2f}")
+    print(f"  provider concentration score: {verdict.concentration_score:.2f}")
+    print(f"  total risk {verdict.risk_score:.2f} -> recommended mitigation:"
+          f" {verdict.mitigation.value}\n")
+
+    # -- 2. the non-private baseline actually leaks -----------------------------
+    baseline = fresh_model()
+    baseline.train_steps(members.features, members.targets.astype(int),
+                         steps=2000, learning_rate=0.3, batch_size=MEMBERS,
+                         rng=np.random.default_rng(2))
+    leak = attack(baseline, members, nonmembers)
+    base_acc = baseline.score(test.features, test.targets.astype(int))
+    print("membership-inference attack on the non-private model:")
+    print(f"  attack AUC {leak.auc:.3f}, advantage {leak.advantage:.3f}, "
+          f"test accuracy {base_acc:.3f}")
+    print(f"  member mean loss {leak.member_mean_loss:.4f} vs non-member "
+          f"{leak.nonmember_mean_loss:.4f}\n")
+
+    # -- 3. DP-SGD mitigation sweep ----------------------------------------------
+    print("DP-SGD retraining (the REQUIRE_DP mitigation):")
+    print(f"  {'target eps':>10} {'noise':>8} {'attack adv':>11} "
+          f"{'attack AUC':>11} {'test acc':>9}")
+    sampling_rate = BATCH / MEMBERS
+    for target_epsilon in (8.0, 4.0, 2.0, 1.0, 0.5):
+        noise = noise_multiplier_for_epsilon(target_epsilon, sampling_rate,
+                                             STEPS)
+        model = fresh_model()
+        result = train_dpsgd(
+            model, members.features, members.targets.astype(int),
+            DPSGDConfig(clip_norm=1.0, noise_multiplier=noise,
+                        learning_rate=0.3, batch_size=BATCH, steps=STEPS),
+            np.random.default_rng(3),
+        )
+        dp_leak = attack(model, members, nonmembers)
+        accuracy = model.score(test.features, test.targets.astype(int))
+        print(f"  {result.epsilon:>10.2f} {noise:>8.2f} "
+              f"{dp_leak.advantage:>11.3f} {dp_leak.auc:>11.3f} "
+              f"{accuracy:>9.3f}")
+
+    print("\ntightening epsilon drives the attacker toward coin-flipping "
+          "(advantage ~0, AUC ~0.5),")
+    print("trading away accuracy on this memorization-only task — the "
+          "Section IV-D trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Token-denominated rewards, data deeds, and workload expiry.
+
+Section III-A selects ERC-20 for rewards and ERC-721 for data/workload
+assets.  This example drives those mechanisms at the chain level:
+
+1. the platform mints an ERC-20 reward token and an ERC-721 deed registry;
+2. a provider registers a dataset and receives a deed NFT committing to its
+   content hash;
+3. a consumer funds a workload escrow *in tokens* (approve + pull);
+4. the happy path pays providers/executors in tokens, conserving supply;
+5. a second workload finds no providers and hits its deadline — anyone
+   expires it, refunding the consumer's tokens.
+
+Run with::
+
+    python examples/token_marketplace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.contract import default_registry
+from repro.chain.vm import VM
+from repro.governance import register_governance_contracts
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    registry = default_registry()
+    register_governance_contracts(registry)
+    chain = Blockchain(
+        ProofOfAuthority.with_generated_validators(3, rng),
+        registry=registry,
+    )
+    platform = Wallet.generate(chain, rng, "platform")
+    consumer = Wallet.generate(chain, rng, "consumer")
+    provider = Wallet.generate(chain, rng, "provider")
+    executor = Wallet.generate(chain, rng, "executor")
+    for wallet in (platform, consumer, provider, executor):
+        chain.state.credit(wallet.address, 10**12)
+
+    # -- 1. the platform's token plumbing -------------------------------------
+    token = platform.deploy_and_mine("erc20", name="PDS2 Reward",
+                                     symbol="PDS", initial_supply=0,
+                                     minter=platform.address)
+    platform.call_and_mine(token, "mint", recipient=consumer.address,
+                           amount=1_000_000)
+    deed_minter = VM.contract_address_for(
+        platform.address, chain.state.nonce_of(platform.address) + 1
+    )
+    nft_tx = platform.deploy("erc721", name="PDS2 Data Deed", symbol="DEED",
+                             minter=deed_minter)
+    chain.mine_block()
+    nft = platform.deployed_address(nft_tx)
+    data_registry = platform.deploy_and_mine("data_registry",
+                                             deed_token=nft)
+    print(f"reward token {token[:10]}…, deed registry {data_registry[:10]}…")
+
+    # -- 2. dataset registration mints a deed -----------------------------------
+    receipt = provider.call_and_mine(
+        data_registry, "register_dataset", record_id="heart-rate-2026",
+        content_hash="ab" * 32, annotation_hash="cd" * 32,
+        size_bytes=48_000,
+    )
+    deed_id = receipt.return_value
+    print(f"provider registered dataset, deed NFT #{deed_id} owned by "
+          f"{provider.view(nft, 'owner_of', token_id=deed_id)[:10]}…")
+
+    # -- 3+4. a token-funded workload, end to end ---------------------------------
+    workload_address = VM.contract_address_for(
+        consumer.address, chain.state.nonce_of(consumer.address) + 1
+    )
+    consumer.call(token, "approve", spender=workload_address,
+                  amount=100_000)
+    workload_tx = consumer.deploy(
+        "workload", spec_hash="11" * 32, code_measurement="22" * 32,
+        min_providers=1, min_samples=10, infra_share_bps=1_000,
+        required_confirmations=1, reward_token=token,
+        reward_amount=100_000,
+    )
+    chain.mine_block()
+    workload = consumer.deployed_address(workload_tx)
+    print(f"\nworkload escrowed 100,000 PDS at {workload[:10]}… "
+          f"(contract token balance: "
+          f"{consumer.view(token, 'balance_of', owner=workload):,})")
+
+    executor.call_and_mine(workload, "register_executor",
+                           claimed_measurement="22" * 32)
+    executor.call_and_mine(workload, "submit_participation",
+                           provider=provider.address,
+                           certificate_hash="c1", data_root="ab" * 32,
+                           item_count=50)
+    consumer.call_and_mine(workload, "start_execution")
+    executor.call_and_mine(workload, "submit_result",
+                           result_hash="rr" * 16,
+                           provider_weights_bps={provider.address: 10_000})
+    print("after completion:")
+    for name, wallet in (("provider", provider), ("executor", executor),
+                         ("consumer", consumer)):
+        balance = consumer.view(token, "balance_of", owner=wallet.address)
+        print(f"  {name:<9} {balance:>9,} PDS")
+    print(f"  total supply conserved: "
+          f"{consumer.view(token, 'total_supply'):,} PDS")
+
+    # -- 5. deadline expiry refunds an unserved workload ----------------------------
+    second_address = VM.contract_address_for(
+        consumer.address, chain.state.nonce_of(consumer.address) + 1
+    )
+    consumer.call(token, "approve", spender=second_address, amount=50_000)
+    second_tx = consumer.deploy(
+        "workload", spec_hash="33" * 32, code_measurement="44" * 32,
+        min_providers=5, min_samples=1_000, reward_token=token,
+        reward_amount=50_000, deadline_blocks=3,
+    )
+    chain.mine_block()
+    second = consumer.deployed_address(second_tx)
+    before = consumer.view(token, "balance_of", owner=consumer.address)
+    for _ in range(3):
+        chain.mine_block()
+    executor.call_and_mine(second, "expire")  # anyone may trigger it
+    after = consumer.view(token, "balance_of", owner=consumer.address)
+    print(f"\nsecond workload found no providers; expired after deadline, "
+          f"refunding {after - before:,} PDS")
+    chain.verify_chain()
+    print("chain verifies end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` in environments without the
+``wheel`` package (such as offline benchmark machines); all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

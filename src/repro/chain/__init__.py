@@ -1,0 +1,36 @@
+"""Blockchain substrate: the governance layer's ledger (paper Section III-A).
+
+An Ethereum-style chain built from scratch: ECDSA accounts, gas-metered
+transactions, a contract VM with revert semantics and events, proof-of-
+authority sealing, and the ERC-20 / ERC-721 token standards the paper selects
+for rewards and data deeds.
+"""
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.consensus import ProofOfAuthority, Validator
+from repro.chain.contract import Contract, ContractRegistry, default_registry
+from repro.chain.state import WorldState
+from repro.chain.transaction import CREATE, LogEntry, Receipt, Transaction
+from repro.chain.vm import VM, BlockContext, ExecutionContext, GasMeter
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "Wallet",
+    "ProofOfAuthority",
+    "Validator",
+    "Contract",
+    "ContractRegistry",
+    "default_registry",
+    "WorldState",
+    "CREATE",
+    "LogEntry",
+    "Receipt",
+    "Transaction",
+    "VM",
+    "BlockContext",
+    "ExecutionContext",
+    "GasMeter",
+]

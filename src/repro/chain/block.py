@@ -1,0 +1,74 @@
+"""Blocks and headers.
+
+Headers commit to the parent, the ordered transaction list (Merkle root), the
+post-state root, and the sealing validator's signature — enough structure for
+the audit layer to verify that history was not rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.transaction import Transaction
+from repro.crypto.ecdsa import PublicKey, Signature
+from repro.crypto.hashing import hash_object
+from repro.crypto.merkle import MerkleTree
+from repro.errors import InvalidBlockError
+
+
+@dataclass
+class BlockHeader:
+    """Metadata committing to one block's contents and effects."""
+
+    number: int
+    parent_hash: bytes
+    timestamp: float
+    tx_root: bytes
+    state_root: bytes
+    validator: str
+    gas_used: int = 0
+    validator_public_key: Optional[PublicKey] = None
+    seal: Optional[Signature] = None
+
+    def sealing_payload(self) -> dict:
+        """Fields covered by the validator's seal signature."""
+        return {
+            "number": self.number,
+            "parent_hash": self.parent_hash,
+            "timestamp": self.timestamp,
+            "tx_root": self.tx_root,
+            "state_root": self.state_root,
+            "validator": self.validator,
+            "gas_used": self.gas_used,
+        }
+
+    @property
+    def block_hash(self) -> bytes:
+        """Identifier of the block: hash over the sealed payload."""
+        return hash_object(self.sealing_payload())
+
+
+@dataclass
+class Block:
+    """A sealed block: header plus the ordered transaction list."""
+
+    header: BlockHeader
+    transactions: list[Transaction] = field(default_factory=list)
+
+    @staticmethod
+    def compute_tx_root(transactions: list[Transaction]) -> bytes:
+        """Merkle root over the transaction hashes, in block order."""
+        return MerkleTree([tx.tx_hash for tx in transactions]).root
+
+    def validate_structure(self) -> None:
+        """Check internal consistency (tx root matches the body)."""
+        expected = self.compute_tx_root(self.transactions)
+        if self.header.tx_root != expected:
+            raise InvalidBlockError("header tx_root does not match block body")
+        if self.header.number < 0:
+            raise InvalidBlockError("negative block number")
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash

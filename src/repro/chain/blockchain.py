@@ -1,0 +1,300 @@
+"""The blockchain: chain assembly, a mempool, and a client-side wallet API.
+
+:class:`Blockchain` ties together the world state, the VM, and proof of
+authority: transactions enter a pending pool, ``mine_block`` seals them into
+the next block, and receipts/events stay queryable forever — the audit trail
+the governance layer (Section II-C) requires.
+
+:class:`Wallet` is the ergonomic account handle used throughout the
+marketplace: it tracks nonces, signs, and exposes ``deploy`` / ``call`` /
+``view`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.chain import gas as gas_schedule
+from repro.chain.block import Block, BlockHeader
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.contract import ContractRegistry, default_registry
+from repro.chain.state import WorldState
+from repro.chain.transaction import CREATE, LogEntry, Receipt, Transaction
+from repro.chain.vm import VM, BlockContext
+from repro.crypto.ecdsa import PrivateKey
+from repro.crypto.hashing import keccak256
+from repro.errors import ChainError, InvalidBlockError, InvalidTransactionError
+
+GENESIS_PARENT = keccak256(b"pds2-genesis")
+
+
+class Blockchain:
+    """A single-chain ledger with PoA sealing and full receipt history."""
+
+    def __init__(self, consensus: ProofOfAuthority,
+                 registry: Optional[ContractRegistry] = None,
+                 genesis_alloc: Optional[dict[str, int]] = None,
+                 block_gas_limit: int = gas_schedule.BLOCK_GAS_LIMIT):
+        self.consensus = consensus
+        self.registry = registry if registry is not None else default_registry()
+        self.vm = VM(registry=self.registry)
+        self.state = WorldState()
+        self.block_gas_limit = block_gas_limit
+        for address, amount in (genesis_alloc or {}).items():
+            self.state.credit(address, amount)
+        self.blocks: list[Block] = []
+        self._receipts: dict[bytes, Receipt] = {}
+        self.pending: list[Transaction] = []
+        self._seal_genesis()
+
+    # -- construction --------------------------------------------------------
+
+    def _seal_genesis(self) -> None:
+        header = BlockHeader(
+            number=0,
+            parent_hash=GENESIS_PARENT,
+            timestamp=0.0,
+            tx_root=Block.compute_tx_root([]),
+            state_root=self.state.state_root(),
+            validator=self.consensus.proposer_for(0).address,
+        )
+        self.consensus.seal(header)
+        self.blocks.append(Block(header=header, transactions=[]))
+
+    # -- chain queries ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of the latest sealed block."""
+        return self.blocks[-1].header.number
+
+    @property
+    def head(self) -> Block:
+        """The latest sealed block."""
+        return self.blocks[-1]
+
+    def receipt_for(self, tx_hash: bytes) -> Receipt:
+        """Look up the receipt of a mined transaction."""
+        if tx_hash not in self._receipts:
+            raise ChainError(f"no receipt for transaction {tx_hash.hex()}")
+        return self._receipts[tx_hash]
+
+    def events(self, name: Optional[str] = None,
+               address: Optional[str] = None,
+               since_block: int = 0) -> Iterator[tuple[int, LogEntry]]:
+        """Iterate ``(block_number, log)`` over successful-tx events.
+
+        Filters by event name and/or emitting contract address.  This is the
+        query surface providers and auditors use to follow workloads.
+        """
+        for block in self.blocks[since_block:]:
+            for tx in block.transactions:
+                receipt = self._receipts[tx.tx_hash]
+                if not receipt.status:
+                    continue
+                for log in receipt.logs:
+                    if name is not None and log.name != name:
+                        continue
+                    if address is not None and log.address != address:
+                        continue
+                    yield block.header.number, log
+
+    # -- transaction intake and mining ----------------------------------------------
+
+    def submit(self, tx: Transaction) -> bytes:
+        """Add a signed transaction to the pending pool; returns its hash."""
+        tx.validate_shape()
+        tx.verify_signature()
+        self.pending.append(tx)
+        return tx.tx_hash
+
+    def mine_block(self, timestamp: Optional[float] = None) -> Block:
+        """Seal all pending transactions into the next block.
+
+        Transactions that fail *admission* (bad nonce, unaffordable) are
+        dropped with a synthetic failed receipt; transactions that revert
+        during execution are still included, as on Ethereum.
+        """
+        number = self.height + 1
+        proposer = self.consensus.proposer_for(number)
+        block_ctx = BlockContext(
+            number=number,
+            timestamp=(
+                timestamp if timestamp is not None
+                else self.head.header.timestamp + 1.0
+            ),
+            validator=proposer.address,
+        )
+        included: list[Transaction] = []
+        gas_used = 0
+        gas_reserved = 0
+        pool, self.pending = self.pending, []
+        for tx in pool:
+            # Pack by gas-limit reservation, as miners do: a transaction may
+            # use up to its limit, so the worst case must fit the block.
+            if gas_reserved + tx.gas_limit > self.block_gas_limit:
+                self.pending.append(tx)  # leave for the next block
+                continue
+            gas_reserved += tx.gas_limit
+            try:
+                receipt = self.vm.apply_transaction(self.state, block_ctx, tx)
+            except ChainError as exc:
+                self._receipts[tx.tx_hash] = Receipt(
+                    tx_hash=tx.tx_hash, status=False, gas_used=0,
+                    error=f"rejected: {exc}", block_number=number,
+                )
+                continue
+            self._receipts[tx.tx_hash] = receipt
+            included.append(tx)
+            gas_used += receipt.gas_used
+        header = BlockHeader(
+            number=number,
+            parent_hash=self.head.block_hash,
+            timestamp=block_ctx.timestamp,
+            tx_root=Block.compute_tx_root(included),
+            state_root=self.state.state_root(),
+            validator=proposer.address,
+            gas_used=gas_used,
+        )
+        self.consensus.seal(header)
+        block = Block(header=header, transactions=included)
+        self.blocks.append(block)
+        return block
+
+    # -- verification ------------------------------------------------------------
+
+    def verify_chain(self) -> None:
+        """Re-verify every header, seal, and parent link from genesis.
+
+        This is the audit primitive: any retroactive tamper with a block body
+        or header breaks either a tx root, a parent hash, or a seal.
+        """
+        previous: Optional[Block] = None
+        for block in self.blocks:
+            block.validate_structure()
+            self.consensus.verify_seal(block.header)
+            if previous is not None:
+                if block.header.parent_hash != previous.block_hash:
+                    raise InvalidBlockError(
+                        f"block {block.header.number} has a broken parent link"
+                    )
+                if block.header.number != previous.header.number + 1:
+                    raise InvalidBlockError("non-contiguous block numbers")
+                if block.header.timestamp < previous.header.timestamp:
+                    raise InvalidBlockError("timestamps must not decrease")
+            previous = block
+
+    # -- free views --------------------------------------------------------------
+
+    def view(self, caller: str, contract: str, method: str,
+             **args: Any) -> Any:
+        """Query a contract view for free against the current head state."""
+        block_ctx = BlockContext(
+            number=self.height,
+            timestamp=self.head.header.timestamp,
+            validator=self.head.header.validator,
+        )
+        return self.vm.static_view(
+            self.state, block_ctx, caller, contract, method, **args
+        )
+
+
+@dataclass
+class Wallet:
+    """A signing account bound to one chain, with automatic nonce tracking."""
+
+    chain: Blockchain
+    key: PrivateKey
+    name: str = ""
+
+    @classmethod
+    def generate(cls, chain: Blockchain, rng: np.random.Generator,
+                 name: str = "") -> "Wallet":
+        """Create a wallet with a fresh key."""
+        return cls(chain=chain, key=PrivateKey.generate(rng), name=name)
+
+    @property
+    def address(self) -> str:
+        return self.key.address
+
+    @property
+    def balance(self) -> int:
+        return self.chain.state.balance_of(self.address)
+
+    def _next_nonce(self) -> int:
+        # Chain nonce plus the number of our transactions still in the pool.
+        # Recomputing from scratch keeps the wallet correct even after a
+        # transaction of ours was rejected at admission.
+        pending_from_us = sum(
+            1 for tx in self.chain.pending if tx.sender == self.address
+        )
+        return self.chain.state.nonce_of(self.address) + pending_from_us
+
+    def _build(self, to: Optional[str], value: int, payload: dict,
+               gas_limit: int) -> Transaction:
+        tx = Transaction(
+            sender=self.address,
+            nonce=self._next_nonce(),
+            to=to,
+            value=value,
+            payload=payload,
+            gas_limit=gas_limit,
+        )
+        return tx.sign(self.key)
+
+    def transfer(self, to: str, value: int,
+                 gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT) -> bytes:
+        """Queue a plain value transfer."""
+        return self.chain.submit(self._build(to, value, {}, gas_limit))
+
+    def deploy(self, contract_name: str, value: int = 0,
+               gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT,
+               **args: Any) -> bytes:
+        """Queue a contract deployment; returns the tx hash.
+
+        The deployed address is available from the receipt after mining, or
+        precomputed via :meth:`deployed_address`.
+        """
+        payload = {"contract": contract_name, "args": args}
+        return self.chain.submit(self._build(CREATE, value, payload, gas_limit))
+
+    def deployed_address(self, tx_hash: bytes) -> str:
+        """Address of the contract created by a mined deploy transaction."""
+        receipt = self.chain.receipt_for(tx_hash)
+        if not receipt.status or receipt.contract_address is None:
+            raise InvalidTransactionError("deployment failed or not mined")
+        return receipt.contract_address
+
+    def call(self, contract: str, method: str, value: int = 0,
+             gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT,
+             **args: Any) -> bytes:
+        """Queue a contract method call; returns the tx hash."""
+        payload = {"method": method, "args": args}
+        return self.chain.submit(
+            self._build(contract, value, payload, gas_limit)
+        )
+
+    def view(self, contract: str, method: str, **args: Any) -> Any:
+        """Free read-only contract query from this wallet's address."""
+        return self.chain.view(self.address, contract, method, **args)
+
+    def call_and_mine(self, contract: str, method: str, value: int = 0,
+                      gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT,
+                      **args: Any) -> Receipt:
+        """Convenience: call, mine immediately, and return the receipt."""
+        tx_hash = self.call(contract, method, value=value,
+                            gas_limit=gas_limit, **args)
+        self.chain.mine_block()
+        return self.chain.receipt_for(tx_hash)
+
+    def deploy_and_mine(self, contract_name: str, value: int = 0,
+                        gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT,
+                        **args: Any) -> str:
+        """Convenience: deploy, mine, and return the contract address."""
+        tx_hash = self.deploy(contract_name, value=value, gas_limit=gas_limit,
+                              **args)
+        self.chain.mine_block()
+        return self.deployed_address(tx_hash)

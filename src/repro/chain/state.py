@@ -1,0 +1,129 @@
+"""World state: balances, nonces, and deployed contracts.
+
+The state object supports deep snapshots so the VM can roll back every effect
+of a reverted call — the property the governance layer's audit guarantees
+rest on.  Contract *instances* survive a rollback (they are identity-stable);
+only their ``storage`` dicts are restored.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.chain.contract import Contract
+from repro.crypto.hashing import hash_object
+from repro.errors import InsufficientBalanceError, UnknownContractError
+
+
+@dataclass
+class StateSnapshot:
+    """An opaque deep copy of the mutable world state."""
+
+    balances: dict[str, int]
+    nonces: dict[str, int]
+    contract_storages: dict[str, dict]
+
+
+@dataclass
+class WorldState:
+    """Mutable ledger state shared by all blocks of one chain."""
+
+    balances: dict[str, int] = field(default_factory=dict)
+    nonces: dict[str, int] = field(default_factory=dict)
+    contracts: dict[str, Contract] = field(default_factory=dict)
+
+    # -- balances -------------------------------------------------------------
+
+    def balance_of(self, address: str) -> int:
+        """Current base-currency balance of ``address`` (0 if untouched)."""
+        return self.balances.get(address, 0)
+
+    def credit(self, address: str, amount: int) -> None:
+        """Add ``amount`` to an account balance."""
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self.balances[address] = self.balance_of(address) + amount
+
+    def debit(self, address: str, amount: int) -> None:
+        """Remove ``amount`` from an account, raising if it overdraws."""
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        balance = self.balance_of(address)
+        if balance < amount:
+            raise InsufficientBalanceError(
+                f"{address} holds {balance}, cannot pay {amount}"
+            )
+        self.balances[address] = balance - amount
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Move base currency between two accounts atomically."""
+        self.debit(sender, amount)
+        self.credit(recipient, amount)
+
+    # -- nonces ---------------------------------------------------------------
+
+    def nonce_of(self, address: str) -> int:
+        """The next expected transaction nonce for ``address``."""
+        return self.nonces.get(address, 0)
+
+    def bump_nonce(self, address: str) -> None:
+        """Advance the account's nonce after accepting a transaction."""
+        self.nonces[address] = self.nonce_of(address) + 1
+
+    # -- contracts ------------------------------------------------------------
+
+    def contract_at(self, address: str) -> Contract:
+        """The contract deployed at ``address`` or raise UnknownContractError."""
+        contract = self.contracts.get(address)
+        if contract is None:
+            raise UnknownContractError(f"no contract at {address}")
+        return contract
+
+    def has_contract(self, address: str) -> bool:
+        """True when a contract is deployed at ``address``."""
+        return address in self.contracts
+
+    def install_contract(self, address: str, contract: Contract) -> None:
+        """Bind a freshly constructed contract instance to ``address``."""
+        if address in self.contracts:
+            raise UnknownContractError(f"address {address} already occupied")
+        contract.address = address
+        self.contracts[address] = contract
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """Deep-copy everything a reverted call could have touched."""
+        return StateSnapshot(
+            balances=dict(self.balances),
+            nonces=dict(self.nonces),
+            contract_storages={
+                address: copy.deepcopy(contract.storage)
+                for address, contract in self.contracts.items()
+            },
+        )
+
+    def restore(self, snap: StateSnapshot) -> None:
+        """Roll back to ``snap``; contracts deployed since are removed."""
+        self.balances = dict(snap.balances)
+        self.nonces = dict(snap.nonces)
+        for address in list(self.contracts):
+            if address not in snap.contract_storages:
+                del self.contracts[address]
+        for address, storage in snap.contract_storages.items():
+            self.contracts[address].storage = copy.deepcopy(storage)
+
+    # -- commitments ------------------------------------------------------------
+
+    def state_root(self) -> bytes:
+        """A digest committing to the full state (used in block headers)."""
+        summary = {
+            "balances": {k: v for k, v in sorted(self.balances.items()) if v},
+            "nonces": dict(sorted(self.nonces.items())),
+            "contracts": {
+                address: contract.storage
+                for address, contract in sorted(self.contracts.items())
+            },
+        }
+        return hash_object(summary)

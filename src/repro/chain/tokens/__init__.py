@@ -1,0 +1,11 @@
+"""Standard token contracts: ERC-20 (fungible) and ERC-721 (non-fungible).
+
+Section III-A of the paper selects these two Ethereum standards: ERC-20 for
+divisible rewards split among providers, ERC-721 for unique assets — datasets
+and workload code — traded on the marketplace.
+"""
+
+from repro.chain.tokens.erc20 import ERC20Token
+from repro.chain.tokens.erc721 import ERC721Token
+
+__all__ = ["ERC20Token", "ERC721Token"]

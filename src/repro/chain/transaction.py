@@ -1,0 +1,148 @@
+"""Transactions: signed state-transition requests.
+
+A transaction either transfers value, deploys a contract, or calls a contract
+method.  The payload is structured (method name + JSON-safe arguments) rather
+than ABI-encoded bytes; hashing and signing go through canonical JSON so the
+digest is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chain import gas as gas_schedule
+from repro.crypto.ecdsa import PrivateKey, PublicKey, Signature
+from repro.crypto.hashing import hash_object, is_address
+from repro.errors import InvalidTransactionError
+from repro.utils.serialization import canonical_json_bytes
+
+#: Sentinel target meaning "deploy a new contract".
+CREATE = None
+
+
+@dataclass
+class Transaction:
+    """A signed transaction.
+
+    Attributes:
+        sender: address of the originating account.
+        nonce: the sender's transaction counter (replay protection).
+        to: target address, or ``None`` to deploy a contract.
+        value: base-currency amount transferred to the target.
+        payload: structured call data. For calls: ``{"method": ..., "args":
+            {...}}``.  For deploys: ``{"contract": <registered name>, "args":
+            {...}}``.
+        gas_limit: maximum gas the sender is willing to burn.
+        gas_price: price per gas unit, paid from the sender's balance.
+        public_key: the sender's public key (no recovery in this substrate,
+            so the key travels with the transaction, as in Bitcoin).
+        signature: ECDSA signature over the canonical signing payload.
+    """
+
+    sender: str
+    nonce: int
+    to: Optional[str]
+    value: int
+    payload: dict = field(default_factory=dict)
+    gas_limit: int = gas_schedule.DEFAULT_TX_GAS_LIMIT
+    gas_price: int = gas_schedule.DEFAULT_GAS_PRICE
+    public_key: Optional[PublicKey] = None
+    signature: Optional[Signature] = None
+
+    def signing_payload(self) -> dict:
+        """The fields covered by the signature (everything but the signature)."""
+        return {
+            "sender": self.sender,
+            "nonce": self.nonce,
+            "to": self.to,
+            "value": self.value,
+            "payload": self.payload,
+            "gas_limit": self.gas_limit,
+            "gas_price": self.gas_price,
+        }
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes that are hashed and signed."""
+        return canonical_json_bytes(self.signing_payload())
+
+    @property
+    def tx_hash(self) -> bytes:
+        """The transaction identifier: hash of the signing payload."""
+        return hash_object(self.signing_payload())
+
+    @property
+    def intrinsic_gas(self) -> int:
+        """Gas charged before any execution: base + calldata (+ create)."""
+        cost = gas_schedule.TX_BASE
+        cost += len(canonical_json_bytes(self.payload)) * gas_schedule.TX_DATA_BYTE
+        if self.to is CREATE:
+            cost += gas_schedule.CONTRACT_CREATE
+        return cost
+
+    def sign(self, key: PrivateKey) -> "Transaction":
+        """Sign in place with ``key`` (which must control ``sender``)."""
+        if key.address != self.sender:
+            raise InvalidTransactionError(
+                "signing key does not control the sender address"
+            )
+        self.public_key = key.public_key
+        self.signature = key.sign(self.signing_bytes())
+        return self
+
+    def validate_shape(self) -> None:
+        """Check structural validity (addresses, non-negative amounts)."""
+        if not is_address(self.sender):
+            raise InvalidTransactionError(f"malformed sender {self.sender!r}")
+        if self.to is not CREATE and not is_address(self.to):
+            raise InvalidTransactionError(f"malformed target {self.to!r}")
+        if self.nonce < 0:
+            raise InvalidTransactionError("nonce must be non-negative")
+        if self.value < 0:
+            raise InvalidTransactionError("value must be non-negative")
+        if self.gas_limit <= 0 or self.gas_price < 0:
+            raise InvalidTransactionError("gas limit/price out of range")
+        if not isinstance(self.payload, dict):
+            raise InvalidTransactionError("payload must be a dict")
+
+    def verify_signature(self) -> None:
+        """Check the signature and that the key controls the sender address."""
+        if self.signature is None or self.public_key is None:
+            raise InvalidTransactionError("transaction is unsigned")
+        if self.public_key.address != self.sender:
+            raise InvalidTransactionError(
+                "public key does not match the sender address"
+            )
+        if not self.public_key.verify(self.signing_bytes(), self.signature):
+            raise InvalidTransactionError("invalid transaction signature")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """An event emitted by a contract during execution."""
+
+    address: str
+    name: str
+    data: dict
+
+    def to_dict(self) -> dict:
+        return {"address": self.address, "name": self.name, "data": self.data}
+
+
+@dataclass
+class Receipt:
+    """Outcome of applying a transaction.
+
+    ``status`` is True on success; on revert all contract effects are undone,
+    gas is still consumed, and ``error`` carries the revert reason.
+    ``return_value`` is whatever the contract method returned (JSON-safe).
+    """
+
+    tx_hash: bytes
+    status: bool
+    gas_used: int
+    logs: list[LogEntry] = field(default_factory=list)
+    return_value: Any = None
+    error: Optional[str] = None
+    contract_address: Optional[str] = None
+    block_number: Optional[int] = None

@@ -1,0 +1,228 @@
+"""Command-line interface for the PDS2 reproduction.
+
+Usage::
+
+    python -m repro info                 # package and subsystem summary
+    python -m repro quickstart           # run one workload end to end
+    python -m repro experiments          # list the experiment suite
+    python -m repro aggregate --kind mean --dp-epsilon 1.0
+                                         # run a DP aggregate workload
+
+The CLI exists so a downstream user can see the platform move without
+writing code; anything serious should use the Python API (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    subsystems = [
+        ("repro.crypto", "ECDSA, Merkle, Paillier, SMC, symmetric crypto"),
+        ("repro.chain", "Ethereum-style ledger, contract VM, tokens"),
+        ("repro.governance", "registries, workload contracts, audit"),
+        ("repro.tee", "enclaves, attestation, oblivious primitives"),
+        ("repro.storage", "local/swarm/cloud backends, semantic catalog"),
+        ("repro.net", "discrete-event network, topologies, churn"),
+        ("repro.ml", "models, datasets, gossip learning, FedAvg"),
+        ("repro.privacy", "DP mechanisms, DP-SGD, membership inference"),
+        ("repro.rewards", "Shapley, pricing, distribution, economics"),
+        ("repro.identity", "device keys, signed readings, verification"),
+        ("repro.core", "the marketplace facade (paper Fig. 1/2)"),
+    ]
+    print(f"PDS2 reproduction, version {repro.__version__}")
+    print("Giaretta et al., ICDE 2021 — full implementation\n")
+    for name, description in subsystems:
+        print(f"  {name:<18} {description}")
+    print("\nSee DESIGN.md for the system inventory and EXPERIMENTS.md for "
+          "the paper-vs-measured record.")
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
+    from repro.ml.datasets import (
+        make_iot_activity,
+        split_dirichlet,
+        train_test_split,
+    )
+    from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+
+    rng = np.random.default_rng(args.seed)
+    data = make_iot_activity(1600, rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, args.providers, 1.0, rng, min_samples=15)
+
+    market = Marketplace(seed=args.seed)
+    for index, part in enumerate(parts):
+        market.add_provider(f"user-{index}", part,
+                            SemanticAnnotation("heart_rate",
+                                               {"rate_hz": 1.0}))
+    consumer = market.add_consumer("consumer", validation=validation)
+    for index in range(args.executors):
+        market.add_executor(f"executor-{index}")
+
+    spec = WorkloadSpec(
+        workload_id="cli-quickstart",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=150, learning_rate=0.3),
+        reward_pool=1_000_000,
+        min_providers=max(1, args.providers // 2),
+        min_samples=100,
+        required_confirmations=min(2, args.executors),
+        dp_epsilon=args.dp_epsilon,
+    )
+    print(f"running workload with {args.providers} providers, "
+          f"{args.executors} executors…")
+    report = market.run_workload(consumer, spec)
+    print(f"accuracy: {report.consumer_score:.3f}")
+    print(f"gas used: {report.gas_used:,}")
+    print(f"rewards paid: {report.total_paid:,} "
+          f"across {len(report.payouts)} recipients")
+    if report.achieved_epsilon is not None:
+        print(f"differential privacy: epsilon = "
+              f"{report.achieved_epsilon:.2f}")
+    print(f"audit clean: {report.audit.clean}")
+    return 0 if report.audit.clean else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    experiments = [
+        ("E1", "five-role lifecycle end to end", "bench_e1_lifecycle.py"),
+        ("E2", "Fig. 3 hardware configurations",
+         "bench_e2_hardware_configs.py"),
+        ("E3", "oblivious backend overheads (plain/TEE/SMC/HE)",
+         "bench_e3_oblivious_backends.py"),
+        ("E4", "backend scaling with model size",
+         "bench_e4_backend_scaling.py"),
+        ("E5", "gossip vs federated learning",
+         "bench_e5_gossip_vs_federated.py"),
+        ("E6", "churn and coordinator failure",
+         "bench_e6_churn_robustness.py"),
+        ("E7", "Shapley: exponential exact, cheap approximations",
+         "bench_e7_shapley.py"),
+        ("E8", "model-based pricing curve", "bench_e8_pricing.py"),
+        ("E9", "data-authenticity detection", "bench_e9_authenticity.py"),
+        ("E10", "metadata leakage vs matching precision",
+         "bench_e10_discovery.py"),
+        ("E11", "DP vs membership inference",
+         "bench_e11_privacy_leakage.py"),
+        ("E12", "governance gas scalability",
+         "bench_e12_governance_scalability.py"),
+        ("E13", "ERC-20/721 gas ablation", "bench_e13_token_ablation.py"),
+        ("E14", "gossip merge-strategy ablation",
+         "bench_e14_merge_ablation.py"),
+        ("E15", "gossip message compression", "bench_e15_compression.py"),
+        ("E16", "executor fault injection vs quorum",
+         "bench_e16_fault_injection.py"),
+        ("E17", "executor economics", "bench_e17_economics.py"),
+    ]
+    print("experiment suite (run: pytest benchmarks/ --benchmark-only)\n")
+    for exp_id, title, bench in experiments:
+        print(f"  {exp_id:<4} {title:<48} benchmarks/{bench}")
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from repro.core.aggregates import (
+        AggregateKind,
+        AggregateResult,
+        AggregateSpec,
+        aggregate_enclave_entry_point,
+    )
+    from repro.ml.datasets import make_iot_activity
+    from repro.tee.enclave import EnclaveCode, TEEPlatform
+    from repro.utils.serialization import canonical_json_bytes
+
+    rng = np.random.default_rng(args.seed)
+    data = make_iot_activity(1000, rng)
+    half = len(data) // 2
+    inputs = {}
+    for index, rows in enumerate((range(0, half), range(half, len(data)))):
+        payload = canonical_json_bytes([
+            {"x": [float(v) for v in data.features[i]],
+             "y": float(data.targets[i])}
+            for i in rows
+        ])
+        inputs[f"provider:0x{index:040x}"] = payload
+
+    spec = AggregateSpec(
+        kind=AggregateKind(args.kind),
+        field_index=args.field,
+        bin_edges=(-2.0, -1.0, 0.0, 1.0, 2.0) if args.kind == "histogram"
+        else (),
+        dp_epsilon=args.dp_epsilon,
+        sensitivity=0.01,
+    )
+    platform = TEEPlatform("cli", rng)
+    enclave = platform.launch(EnclaveCode(
+        "aggregate", "1", aggregate_enclave_entry_point
+    ))
+    for label, blob in inputs.items():
+        enclave.provision_plain(label, blob)
+    enclave.run(agg_spec=spec.to_dict(), noise_seed=args.seed)
+    result = AggregateResult.from_output(enclave.extract_output())
+    print(f"{result.kind.value} over feature {args.field} "
+          f"({result.total_samples} samples from "
+          f"{len(result.sample_counts)} providers)")
+    if result.dp_epsilon is not None:
+        print(f"released with differential privacy, "
+              f"epsilon = {result.dp_epsilon}")
+    print(f"statistic: {result.statistic}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDS2 decentralized data marketplace (ICDE 2021) "
+                    "reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="package summary").set_defaults(
+        handler=_cmd_info
+    )
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="run one workload end to end"
+    )
+    quickstart.add_argument("--providers", type=int, default=8)
+    quickstart.add_argument("--executors", type=int, default=2)
+    quickstart.add_argument("--seed", type=int, default=42)
+    quickstart.add_argument("--dp-epsilon", type=float, default=None)
+    quickstart.set_defaults(handler=_cmd_quickstart)
+
+    subparsers.add_parser(
+        "experiments", help="list the experiment suite"
+    ).set_defaults(handler=_cmd_experiments)
+
+    aggregate = subparsers.add_parser(
+        "aggregate", help="run a statistical aggregate workload in a TEE"
+    )
+    aggregate.add_argument("--kind", default="mean",
+                           choices=["mean", "sum", "count", "histogram",
+                                    "quantile"])
+    aggregate.add_argument("--field", type=int, default=0)
+    aggregate.add_argument("--dp-epsilon", type=float, default=None)
+    aggregate.add_argument("--seed", type=int, default=7)
+    aggregate.set_defaults(handler=_cmd_aggregate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Marketplace core: the paper's primary contribution, assembled.
+
+The :class:`Marketplace` facade wires the blockchain governance layer, TEE
+executors, storage subsystems and reward schemes into the five-role
+architecture of Fig. 1 and runs the full Fig. 2 workload lifecycle.
+"""
+
+from repro.core.adversary import (
+    AdversarialOutcome,
+    ExecutorBehavior,
+    confirmed_result,
+    run_with_adversaries,
+)
+from repro.core.aggregates import (
+    AggregateKind,
+    AggregateResult,
+    AggregateSpec,
+    aggregate_enclave_entry_point,
+    combine_aggregate_outputs,
+)
+from repro.core.actors import (
+    ConsumerActor,
+    ExecutorActor,
+    ParticipationPolicy,
+    ProviderActor,
+    accept_all_policy,
+    minimum_reward_policy,
+    result_hash_of,
+)
+from repro.core.marketplace import (
+    DEFAULT_FUNDING,
+    Marketplace,
+    WorkloadRunReport,
+)
+from repro.core.workload import (
+    ModelSpec,
+    RewardScheme,
+    TrainingSpec,
+    WorkloadSpec,
+    deserialize_rows,
+    enclave_entry_point,
+    serialize_partition,
+    serialize_row,
+)
+
+__all__ = [
+    "AdversarialOutcome",
+    "ExecutorBehavior",
+    "confirmed_result",
+    "run_with_adversaries",
+    "AggregateKind",
+    "AggregateResult",
+    "AggregateSpec",
+    "aggregate_enclave_entry_point",
+    "combine_aggregate_outputs",
+    "ConsumerActor",
+    "ExecutorActor",
+    "ParticipationPolicy",
+    "ProviderActor",
+    "accept_all_policy",
+    "minimum_reward_policy",
+    "result_hash_of",
+    "DEFAULT_FUNDING",
+    "Marketplace",
+    "WorkloadRunReport",
+    "ModelSpec",
+    "RewardScheme",
+    "TrainingSpec",
+    "WorkloadSpec",
+    "deserialize_rows",
+    "enclave_entry_point",
+    "serialize_partition",
+    "serialize_row",
+]

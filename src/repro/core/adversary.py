@@ -1,0 +1,173 @@
+"""Adversarial actors: misbehaving executors and how the protocol holds.
+
+Section II-E requires that executors have "no way to tamper with the results
+without being detected".  Two mechanisms enforce this in PDS2:
+
+1. **attestation** — providers only send data to enclaves whose measurement
+   matches the on-chain workload code, so an executor cannot substitute its
+   own training code and still receive inputs;
+2. **result quorum** — the workload contract pays only when
+   ``required_confirmations`` *identical* (result hash, payout weights)
+   votes accumulate, so a minority of lying executors cannot corrupt the
+   result or the rewards.
+
+This module provides the attack harness used by tests and the E15 fault
+bench: adversarial executor behaviors that plug into a normal
+:class:`~repro.core.marketplace.Marketplace` run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain
+from repro.core.actors import ExecutorActor, result_hash_of
+from repro.core.marketplace import Marketplace, WorkloadRunReport
+from repro.core.workload import WorkloadSpec
+from repro.errors import MarketplaceError
+from repro.governance.contracts import BPS
+
+
+class ExecutorBehavior(enum.Enum):
+    """How an executor acts when submitting results."""
+
+    HONEST = "honest"
+    WRONG_RESULT = "wrong_result"       # votes for a fabricated model hash
+    SELF_DEALING = "self_dealing"       # reroutes payout weights to a crony
+    SILENT = "silent"                   # never submits (lazy/crashed)
+
+
+@dataclass
+class AdversarialOutcome:
+    """What happened when a workload ran against misbehaving executors."""
+
+    completed: bool
+    honest_result_hash: str | None
+    final_state: str
+    paid_total: int
+    crony_payout: int
+    report: WorkloadRunReport | None = None
+
+
+def run_with_adversaries(market: Marketplace, consumer, spec: WorkloadSpec,
+                         behaviors: list[ExecutorBehavior],
+                         crony_address: str | None = None,
+                         ) -> AdversarialOutcome:
+    """Run the Fig. 2 lifecycle with per-executor behaviors.
+
+    Mirrors :meth:`Marketplace.run_workload` up to result submission, then
+    lets each executor vote according to its assigned behavior.  The
+    function never raises on adversarial failure; it reports what the
+    contract did.
+    """
+    executors = market.executors
+    if len(behaviors) != len(executors):
+        raise MarketplaceError("one behavior per marketplace executor")
+    if crony_address is None:
+        crony_address = "0x" + "c0" * 20
+
+    workload_address = market.submit_workload(consumer, spec)
+    participants = market.matching_providers(spec)
+    if len(participants) < spec.min_providers:
+        raise MarketplaceError("not enough providers for the attack harness")
+
+    code = ExecutorActor.code_for(spec)
+    for executor in executors:
+        executor.launch_enclave(spec)
+        executor.wallet.call(workload_address, "register_executor",
+                             claimed_measurement=code.measurement.hex())
+    market._mine()
+
+    onchain_measurement = consumer.wallet.view(workload_address,
+                                               "code_measurement")
+    assignments = {executor.address: [] for executor in executors}
+    from repro.utils.rng import derive_rng
+
+    for index, provider in enumerate(participants):
+        executor = executors[index % len(executors)]
+        quote = executor.quote_for(spec)
+        enclave_key = market.attestation.verify(
+            quote, expected_measurement=bytes.fromhex(onchain_measurement)
+        )
+        envelope, certificate = provider.prepare_submission(
+            spec, executor.address, enclave_key,
+            issued_at=market._tick(),
+            rng=derive_rng(market.seed, f"adv-submit-{provider.name}"),
+        )
+        executor.accept_data(spec, provider.address, envelope,
+                             provider.wallet.key.public_key)
+        executor.wallet.call(
+            workload_address, "submit_participation",
+            provider=provider.address,
+            certificate_hash=certificate.certificate_hash.hex(),
+            data_root=certificate.data_root.hex(),
+            item_count=certificate.item_count,
+        )
+        assignments[executor.address].append(provider)
+    market._mine()
+    consumer.wallet.call(workload_address, "start_execution")
+    market._mine()
+
+    # Honest computation happens in every enclave that received data.
+    active = [e for e in executors if assignments[e.address]]
+    outputs = [e.execute(spec, training_seed=market.seed) for e in active]
+    final_params, weights_bps, _ = Marketplace._aggregate_outputs(
+        spec, outputs
+    )
+    honest_hash = result_hash_of(final_params, weights_bps)
+
+    for executor, behavior in zip(executors, behaviors):
+        if executor not in active and behavior is not ExecutorBehavior.SILENT:
+            continue
+        if behavior is ExecutorBehavior.HONEST:
+            executor.wallet.call(workload_address, "submit_result",
+                                 result_hash=honest_hash,
+                                 provider_weights_bps=weights_bps)
+        elif behavior is ExecutorBehavior.WRONG_RESULT:
+            executor.wallet.call(workload_address, "submit_result",
+                                 result_hash="ff" * 32,
+                                 provider_weights_bps=weights_bps)
+        elif behavior is ExecutorBehavior.SELF_DEALING:
+            # Route everything to one (possibly sybil) provider the attacker
+            # controls — the contract only accepts registered participants,
+            # so the crony must be a participant to even be a valid key.
+            corrupt = dict.fromkeys(weights_bps, 0)
+            victim = sorted(corrupt)[0]
+            corrupt[victim] = BPS
+            executor.wallet.call(workload_address, "submit_result",
+                                 result_hash=honest_hash,
+                                 provider_weights_bps=corrupt)
+        # SILENT: do nothing.
+    market._mine()
+
+    state = consumer.wallet.view(workload_address, "state")
+    paid = sum(
+        int(log.data["amount"])
+        for _, log in market.chain.events(name="RewardPaid",
+                                          address=workload_address)
+    )
+    crony_paid = sum(
+        int(log.data["amount"])
+        for _, log in market.chain.events(name="RewardPaid",
+                                          address=workload_address)
+        if log.data["recipient"] == crony_address
+    )
+    return AdversarialOutcome(
+        completed=state == "complete",
+        honest_result_hash=honest_hash,
+        final_state=state,
+        paid_total=paid,
+        crony_payout=crony_paid,
+    )
+
+
+def confirmed_result(chain: Blockchain, workload_address: str,
+                     caller: str) -> str | None:
+    """The finalized result hash, or None while unconfirmed."""
+    state = chain.view(caller, workload_address, "state")
+    if state != "complete":
+        return None
+    return chain.view(caller, workload_address, "final_result_hash")

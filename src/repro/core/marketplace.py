@@ -1,0 +1,578 @@
+"""The PDS2 marketplace facade: the paper's Fig. 1/Fig. 2 wired together.
+
+:class:`Marketplace` owns one instance of every substrate — blockchain +
+governance contracts, attestation service, data catalog, manufacturer
+registry — and provides the end-to-end lifecycle of a workload:
+
+1. the consumer deploys a :class:`WorkloadContract` escrowing the reward;
+2. storage subsystems match the spec's semantic requirement against each
+   provider's catalog records; willing providers (per their policies) join;
+3. executors launch measured enclaves and register on-chain;
+4. each participating provider verifies the executor's attestation quote
+   against the on-chain code measurement, then sends its encrypted data
+   plus a signed participation certificate;
+5. executors record certificates on-chain; once the consumer's conditions
+   hold, execution starts;
+6. enclaves train; executors aggregate parameters peer-to-peer (an
+   all-reduce over their sample-weighted outputs), agree on payout weights,
+   and submit quorum-confirmed results;
+7. the contract pays providers and executors; the consumer retrieves and
+   evaluates the model; anyone can audit the history.
+
+Everything is deterministic under the marketplace seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.contract import default_registry
+from repro.chain.vm import VM
+from repro.core.actors import (
+    ConsumerActor,
+    ExecutorActor,
+    ParticipationPolicy,
+    ProviderActor,
+    accept_all_policy,
+    result_hash_of,
+)
+from repro.core.workload import WorkloadSpec
+from repro.errors import MarketplaceError, MatchingError
+from repro.governance import register_governance_contracts
+from repro.governance.audit import AuditReport, audit_workload
+from repro.governance.contracts import BPS
+from repro.identity.device import ManufacturerRegistry
+from repro.ml.datasets import Dataset
+from repro.storage.base import StorageBackend, content_address
+from repro.storage.catalog import DataCatalog, DataRecord
+from repro.storage.local import LocalEncryptedStore
+from repro.storage.semantic import Ontology, SemanticAnnotation
+from repro.tee.attestation import AttestationService
+from repro.tee.enclave import TEEPlatform
+from repro.utils.rng import derive_rng
+
+#: Genesis balance granted to every actor wallet (covers gas + escrows).
+DEFAULT_FUNDING = 10**12
+
+
+@dataclass
+class WorkloadRunReport:
+    """Everything observable about one completed workload run."""
+
+    workload_address: str
+    spec: WorkloadSpec
+    participants: list[str]
+    executors: list[str]
+    final_params: np.ndarray
+    result_hash: str
+    consumer_score: Optional[float]
+    payouts: dict[str, int]
+    weights_bps: dict[str, int]
+    gas_used: int
+    blocks_mined: int
+    achieved_epsilon: Optional[float]
+    audit: AuditReport
+
+    @property
+    def total_paid(self) -> int:
+        return sum(self.payouts.values())
+
+
+class Marketplace:
+    """A complete, self-contained PDS2 deployment."""
+
+    def __init__(self, seed: int = 0, validators: int = 3,
+                 ontology: Optional[Ontology] = None,
+                 mint_deeds: bool = True):
+        self.seed = seed
+        self._rng = derive_rng(seed, "marketplace")
+        self.ontology = ontology if ontology is not None else Ontology.iot_default()
+        self.catalog = DataCatalog(self.ontology)
+        self.attestation = AttestationService()
+        self.manufacturers = ManufacturerRegistry()
+        self.clock = 0.0
+
+        consensus = ProofOfAuthority.with_generated_validators(
+            validators, derive_rng(seed, "validators")
+        )
+        registry = default_registry()
+        register_governance_contracts(registry)
+        self.chain = Blockchain(consensus, registry=registry)
+
+        # Platform operator wallet deploys the shared registries.
+        self.operator = self._new_wallet("operator")
+        self.actor_registry = self.operator.deploy_and_mine("actor_registry")
+        if mint_deeds:
+            deed_minter = VM.contract_address_for(
+                self.operator.address,
+                self.chain.state.nonce_of(self.operator.address) + 1,
+            )
+            deed_tx = self.operator.deploy("erc721", name="PDS2 Data Deed",
+                                           symbol="DEED", minter=deed_minter)
+            self.chain.mine_block(self._tick())
+            self.deed_token: Optional[str] = self.operator.deployed_address(
+                deed_tx
+            )
+            self.data_registry = self.operator.deploy_and_mine(
+                "data_registry", deed_token=self.deed_token
+            )
+        else:
+            self.deed_token = None
+            self.data_registry = self.operator.deploy_and_mine(
+                "data_registry", deed_token=None
+            )
+
+        self.providers: list[ProviderActor] = []
+        self.consumers: list[ConsumerActor] = []
+        self.executors: list[ExecutorActor] = []
+
+    # -- clock / wallet helpers ----------------------------------------------------
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    def _mine(self) -> None:
+        self.chain.mine_block(self._tick())
+
+    def _new_wallet(self, label: str) -> Wallet:
+        wallet = Wallet.generate(
+            self.chain, derive_rng(self.seed, f"wallet-{label}"), label
+        )
+        self.chain.state.credit(wallet.address, DEFAULT_FUNDING)
+        return wallet
+
+    # -- actor onboarding --------------------------------------------------------------
+
+    def add_provider(self, name: str, dataset: Dataset,
+                     annotation: SemanticAnnotation,
+                     store: Optional[StorageBackend] = None,
+                     policy: ParticipationPolicy = accept_all_policy,
+                     ) -> ProviderActor:
+        """Onboard a provider: wallet, role, storage, catalog + registry."""
+        wallet = self._new_wallet(f"provider-{name}")
+        if store is None:
+            store = LocalEncryptedStore(
+                wallet.address, derive_rng(self.seed, f"store-{name}")
+            )
+        provider = ProviderActor(
+            name=name, wallet=wallet, dataset=dataset,
+            annotation=annotation, store=store, policy=policy,
+            record_id=f"record-{name}",
+        )
+        wallet.call(self.actor_registry, "register", role="provider")
+        object_id = provider.store_dataset()
+        payload_hash = content_address(provider.partition_payload())
+        from repro.crypto.hashing import hash_object
+
+        annotation_hash = hash_object(annotation.to_dict()).hex()
+        wallet.call(
+            self.data_registry, "register_dataset",
+            record_id=provider.record_id, content_hash=payload_hash,
+            annotation_hash=annotation_hash,
+            size_bytes=len(provider.partition_payload()),
+        )
+        self._mine()
+        self.catalog.register(DataRecord(
+            record_id=provider.record_id,
+            owner=wallet.address,
+            backend_name=type(store).__name__,
+            object_id=object_id,
+            content_hash=payload_hash,
+            size_bytes=len(provider.partition_payload()),
+            created_at=self.clock,
+            annotation=annotation,
+        ))
+        self.providers.append(provider)
+        return provider
+
+    def add_consumer(self, name: str,
+                     validation: Optional[Dataset] = None) -> ConsumerActor:
+        """Onboard a consumer with an optional private validation set."""
+        wallet = self._new_wallet(f"consumer-{name}")
+        wallet.call(self.actor_registry, "register", role="consumer")
+        self._mine()
+        consumer = ConsumerActor(name=name, wallet=wallet,
+                                 validation=validation)
+        self.consumers.append(consumer)
+        return consumer
+
+    def add_executor(self, name: str) -> ExecutorActor:
+        """Onboard an executor: wallet, role, provisioned TEE platform."""
+        wallet = self._new_wallet(f"executor-{name}")
+        wallet.call(self.actor_registry, "register", role="executor")
+        self._mine()
+        platform = TEEPlatform(
+            platform_id=f"platform-{name}",
+            rng=derive_rng(self.seed, f"platform-{name}"),
+        )
+        self.attestation.provision_platform(platform)
+        executor = ExecutorActor(name=name, wallet=wallet, platform=platform)
+        self.executors.append(executor)
+        return executor
+
+    # -- the lifecycle -------------------------------------------------------------------
+
+    def submit_workload(self, consumer: ConsumerActor,
+                        spec: WorkloadSpec) -> str:
+        """Phase 1 (Fig. 2): deploy the workload contract with escrow."""
+        code = ExecutorActor.code_for(spec)
+        address = consumer.wallet.deploy_and_mine(
+            "workload", value=spec.reward_pool,
+            spec_hash=spec.spec_hash,
+            code_measurement=code.measurement.hex(),
+            min_providers=spec.min_providers,
+            min_samples=spec.min_samples,
+            infra_share_bps=spec.infra_share_bps,
+            required_confirmations=spec.required_confirmations,
+        )
+        return address
+
+    def matching_providers(self, spec: WorkloadSpec) -> list[ProviderActor]:
+        """Phase 2: storage-subsystem matching + provider consent."""
+        willing = []
+        for provider in self.providers:
+            records = self.catalog.match_for_owner(
+                spec.requirement, provider.address
+            )
+            if records and provider.wants_to_participate(spec,
+                                                         self.ontology):
+                willing.append(provider)
+        return willing
+
+    def run_workload(self, consumer: ConsumerActor, spec: WorkloadSpec,
+                     executors: Optional[list[ExecutorActor]] = None,
+                     ) -> WorkloadRunReport:
+        """Run the complete Fig. 2 sequence and return the full report."""
+        if executors is None:
+            executors = list(self.executors)
+        if not executors:
+            raise MarketplaceError("no executors available")
+        if spec.required_confirmations > len(executors):
+            raise MarketplaceError(
+                "spec requires more confirmations than executors exist"
+            )
+        gas_before = self._total_gas()
+        blocks_before = self.chain.height
+
+        workload_address = self.submit_workload(consumer, spec)
+
+        participants = self.matching_providers(spec)
+        if len(participants) < spec.min_providers:
+            raise MatchingError(
+                f"only {len(participants)} willing providers; "
+                f"spec requires {spec.min_providers}"
+            )
+
+        # Phase 3: executors launch enclaves and register on-chain.
+        code = ExecutorActor.code_for(spec)
+        for executor in executors:
+            executor.launch_enclave(spec)
+            executor.wallet.call(
+                workload_address, "register_executor",
+                claimed_measurement=code.measurement.hex(),
+            )
+        self._mine()
+
+        # Phase 4: providers attest executors, send data + certificates.
+        onchain_measurement = consumer.wallet.view(
+            workload_address, "code_measurement"
+        )
+        assignments: dict[str, list[ProviderActor]] = {
+            executor.address: [] for executor in executors
+        }
+        for index, provider in enumerate(participants):
+            executor = executors[index % len(executors)]
+            quote = executor.quote_for(spec)
+            enclave_key = self.attestation.verify(
+                quote,
+                expected_measurement=bytes.fromhex(onchain_measurement),
+            )
+            envelope, certificate = provider.prepare_submission(
+                spec, executor.address, enclave_key,
+                issued_at=self._tick(),
+                rng=derive_rng(self.seed, f"submit-{provider.name}"),
+            )
+            certificate.verify()
+            executor.accept_data(
+                spec, provider.address, envelope,
+                provider.wallet.key.public_key,
+            )
+            executor.wallet.call(
+                workload_address, "submit_participation",
+                provider=provider.address,
+                certificate_hash=certificate.certificate_hash.hex(),
+                data_root=certificate.data_root.hex(),
+                item_count=certificate.item_count,
+            )
+            assignments[executor.address].append(provider)
+        self._mine()
+
+        # Phase 5: gate execution on the consumer's preconditions.
+        consumer.wallet.call(workload_address, "start_execution")
+        self._mine()
+
+        # Phase 6: enclaves train; executors all-reduce and vote.
+        outputs = []
+        active_executors = [
+            executor for executor in executors
+            if assignments[executor.address]
+        ]
+        for executor in active_executors:
+            outputs.append(executor.execute(spec, training_seed=self.seed))
+        final_params, weights_bps, achieved_epsilon = (
+            self._aggregate_outputs(spec, outputs)
+        )
+        result_hash = result_hash_of(final_params, weights_bps)
+        for executor in active_executors[:spec.required_confirmations]:
+            executor.wallet.call(
+                workload_address, "submit_result",
+                result_hash=result_hash,
+                provider_weights_bps=weights_bps,
+            )
+        self._mine()
+
+        state = consumer.wallet.view(workload_address, "state")
+        if state != "complete":
+            raise MarketplaceError(
+                f"workload did not complete (state={state!r})"
+            )
+
+        # Phase 7: retrieval, payout accounting, audit.
+        payouts: dict[str, int] = {}
+        for _, log in self.chain.events(name="RewardPaid",
+                                        address=workload_address):
+            payouts[log.data["recipient"]] = (
+                payouts.get(log.data["recipient"], 0)
+                + int(log.data["amount"])
+            )
+        for provider in participants:
+            provider.rewards_received += payouts.get(provider.address, 0)
+        consumer_score = None
+        if consumer.validation is not None:
+            consumer_score = consumer.evaluate_result(spec, final_params)
+        report = WorkloadRunReport(
+            workload_address=workload_address,
+            spec=spec,
+            participants=[p.address for p in participants],
+            executors=[e.address for e in executors],
+            final_params=final_params,
+            result_hash=result_hash,
+            consumer_score=consumer_score,
+            payouts=payouts,
+            weights_bps=weights_bps,
+            gas_used=self._total_gas() - gas_before,
+            blocks_mined=self.chain.height - blocks_before,
+            achieved_epsilon=achieved_epsilon,
+            audit=audit_workload(self.chain, workload_address,
+                                 auditor=consumer.address),
+        )
+        return report
+
+    def run_aggregate_workload(self, consumer: ConsumerActor,
+                               workload_id: str, requirement,
+                               agg_spec, reward_pool: int = 100_000,
+                               min_providers: int = 1,
+                               min_samples: int = 1,
+                               infra_share_bps: int = 1000,
+                               required_confirmations: int = 1):
+        """Run a *statistical aggregate* workload through the full lifecycle.
+
+        The paper generalizes PDS2 beyond ML training; this is that other
+        workload class on exactly the same machinery: the same contract,
+        certificates, attestation and quorum — only the enclave entry point
+        (and the result: a statistic, not a model) differ.  Returns
+        ``(AggregateResult, AuditReport, workload_address)``.
+        """
+        from repro.core.aggregates import (
+            AggregateResult,
+            aggregate_enclave_entry_point,
+            combine_aggregate_outputs,
+        )
+        from repro.core.actors import result_hash_of
+        from repro.crypto.hashing import hash_object
+        from repro.governance.audit import audit_workload
+        from repro.tee.enclave import EnclaveCode
+
+        executors = list(self.executors)
+        if not executors:
+            raise MarketplaceError("no executors available")
+        spec_dict = agg_spec.to_dict()
+        code = EnclaveCode(
+            name=f"pds2-aggregate-{workload_id}",
+            version=hash_object(spec_dict).hex(),
+            entry_point=aggregate_enclave_entry_point,
+        )
+        workload_address = consumer.wallet.deploy_and_mine(
+            "workload", value=reward_pool,
+            spec_hash=hash_object(spec_dict).hex(),
+            code_measurement=code.measurement.hex(),
+            min_providers=min_providers, min_samples=min_samples,
+            infra_share_bps=infra_share_bps,
+            required_confirmations=required_confirmations,
+        )
+        participants = [
+            provider for provider in self.providers
+            if self.catalog.match_for_owner(requirement, provider.address)
+        ]
+        if len(participants) < min_providers:
+            raise MatchingError("not enough providers for the aggregate")
+
+        from repro.core.workload import serialize_partition
+        from repro.governance.certificates import issue_certificate
+        from repro.tee.enclave import Enclave
+
+        enclaves = {}
+        for executor in executors:
+            enclave = executor.platform.launch(code)
+            enclaves[executor.address] = enclave
+            executor.wallet.call(
+                workload_address, "register_executor",
+                claimed_measurement=code.measurement.hex(),
+            )
+        self._mine()
+
+        assignments = {executor.address: 0 for executor in executors}
+        for index, provider in enumerate(participants):
+            executor = executors[index % len(executors)]
+            enclave = enclaves[executor.address]
+            quote = AttestationService.produce_quote(enclave)
+            enclave_key = self.attestation.verify(
+                quote, expected_measurement=code.measurement,
+            )
+            rows = serialize_partition(provider.dataset.features,
+                                       provider.dataset.targets)
+            certificate = issue_certificate(
+                provider.wallet.key, workload_id, executor.address, rows,
+                issued_at=self._tick(),
+            )
+            envelope = Enclave.encrypt_for_enclave(
+                enclave_key, provider.wallet.key,
+                provider.partition_payload(),
+                derive_rng(self.seed, f"agg-{workload_id}-{provider.name}"),
+            )
+            enclave.provision_input(
+                f"provider:{provider.address}", envelope,
+                provider.wallet.key.public_key,
+            )
+            executor.wallet.call(
+                workload_address, "submit_participation",
+                provider=provider.address,
+                certificate_hash=certificate.certificate_hash.hex(),
+                data_root=certificate.data_root.hex(),
+                item_count=certificate.item_count,
+            )
+            assignments[executor.address] += 1
+        self._mine()
+        consumer.wallet.call(workload_address, "start_execution")
+        self._mine()
+
+        outputs = []
+        sample_counts: dict[str, float] = {}
+        for executor in executors:
+            if assignments[executor.address] == 0:
+                continue
+            enclave = enclaves[executor.address]
+            enclave.run(agg_spec=spec_dict, noise_seed=self.seed)
+            output = enclave.extract_output()
+            outputs.append(output)
+            for provider, count in output["sample_counts"].items():
+                sample_counts[provider] = (
+                    sample_counts.get(provider, 0) + count
+                )
+        combined = combine_aggregate_outputs(agg_spec.kind, outputs)
+
+        total = sum(sample_counts.values())
+        providers_sorted = sorted(sample_counts)
+        weights_bps: dict[str, int] = {}
+        assigned = 0
+        for provider in providers_sorted[:-1]:
+            share = int(round(sample_counts[provider] / total * BPS))
+            weights_bps[provider] = share
+            assigned += share
+        weights_bps[providers_sorted[-1]] = BPS - assigned
+
+        statistic_vector = (np.atleast_1d(np.asarray(combined, dtype=float)))
+        result_hash = result_hash_of(statistic_vector, weights_bps)
+        for executor in executors[:required_confirmations]:
+            executor.wallet.call(
+                workload_address, "submit_result",
+                result_hash=result_hash,
+                provider_weights_bps=weights_bps,
+            )
+        self._mine()
+        state = consumer.wallet.view(workload_address, "state")
+        if state != "complete":
+            raise MarketplaceError(
+                f"aggregate workload did not complete (state={state!r})"
+            )
+        result = AggregateResult(
+            statistic=combined, kind=agg_spec.kind,
+            dp_epsilon=agg_spec.dp_epsilon,
+            total_samples=int(total),
+            sample_counts={k: int(v) for k, v in sample_counts.items()},
+        )
+        audit = audit_workload(self.chain, workload_address,
+                               auditor=consumer.address)
+        return result, audit, workload_address
+
+    # -- aggregation helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _aggregate_outputs(spec: WorkloadSpec, outputs: list[dict]
+                           ) -> tuple[np.ndarray, dict[str, int],
+                                      Optional[float]]:
+        """Decentralized aggregation: all-reduce executor enclave outputs.
+
+        Parameters are averaged weighted by trained sample counts (the
+        deterministic fixed point the executors' peer-to-peer averaging
+        converges to); payout weights come from certified sample counts or
+        from enclave-computed Shapley fractions scaled by each executor's
+        data share.
+        """
+        if not outputs:
+            raise MarketplaceError("no enclave outputs to aggregate")
+        weights = np.array([out["trained_samples"] for out in outputs],
+                           dtype=float)
+        stacked = np.stack([
+            np.asarray(out["params"], dtype=float) for out in outputs
+        ])
+        final_params = (weights / weights.sum()) @ stacked
+
+        raw: dict[str, float] = {}
+        total_samples = float(sum(out["trained_samples"] for out in outputs))
+        for out in outputs:
+            executor_share = out["trained_samples"] / total_samples
+            if "shapley_fractions" in out:
+                for provider, fraction in out["shapley_fractions"].items():
+                    raw[provider] = (raw.get(provider, 0.0)
+                                     + fraction * executor_share)
+            else:
+                executor_total = float(sum(out["sample_counts"].values()))
+                for provider, count in out["sample_counts"].items():
+                    raw[provider] = (raw.get(provider, 0.0)
+                                     + (count / executor_total)
+                                     * executor_share)
+        total = sum(raw.values())
+        providers = sorted(raw)
+        bps: dict[str, int] = {}
+        assigned = 0
+        for provider in providers[:-1]:
+            share = int(round(raw[provider] / total * BPS))
+            bps[provider] = share
+            assigned += share
+        bps[providers[-1]] = BPS - assigned
+        epsilons = [out.get("achieved_epsilon") for out in outputs]
+        achieved = None
+        known = [e for e in epsilons if e is not None]
+        if known:
+            achieved = max(known)
+        return final_params, bps, achieved
+
+    def _total_gas(self) -> int:
+        return sum(block.header.gas_used for block in self.chain.blocks)

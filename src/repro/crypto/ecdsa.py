@@ -1,0 +1,270 @@
+"""Pure-Python ECDSA over secp256k1.
+
+This is the signature scheme behind every account, device, certificate and
+enclave quote in the reproduction.  It is a complete textbook implementation:
+
+* affine point arithmetic on the secp256k1 short Weierstrass curve,
+* key generation from an RNG or deterministic seed,
+* RFC 6979-style deterministic nonces (no RNG needed at signing time, and no
+  nonce-reuse catastrophes in tests),
+* low-s normalization as enforced by Ethereum,
+* Ethereum-style address derivation from the uncompressed public key.
+
+The implementation favors clarity over speed; signing and verification take
+well under a millisecond, which is plenty for a laptop-scale marketplace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.hashing import (
+    address_from_public_key,
+    hash_to_int,
+    hmac_sha256,
+    keccak256,
+)
+from repro.errors import InvalidKeyError, InvalidSignatureError
+
+# secp256k1 domain parameters (y^2 = x^3 + 7 over F_p).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+A = 0
+B = 7
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+_Point = Optional[tuple[int, int]]  # None is the point at infinity.
+
+
+def _inverse_mod(value: int, modulus: int) -> int:
+    """Modular inverse via Python's built-in extended-Euclid pow."""
+    return pow(value, -1, modulus)
+
+
+def _is_on_curve(point: _Point) -> bool:
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def _point_add(p1: _Point, p2: _Point) -> _Point:
+    """Add two points on secp256k1 (affine coordinates)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and (y1 + y2) % P == 0:
+        return None
+    if p1 == p2:
+        slope = (3 * x1 * x1 + A) * _inverse_mod(2 * y1, P) % P
+    else:
+        slope = (y2 - y1) * _inverse_mod(x2 - x1, P) % P
+    x3 = (slope * slope - x1 - x2) % P
+    y3 = (slope * (x1 - x3) - y1) % P
+    return (x3, y3)
+
+
+def _point_mul(scalar: int, point: _Point) -> _Point:
+    """Double-and-add scalar multiplication."""
+    if scalar % N == 0 or point is None:
+        return None
+    scalar %= N
+    result: _Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature ``(r, s)`` with a recovery-style parity bit ``v``.
+
+    ``v`` records the parity of the nonce point's y coordinate.  The
+    reproduction verifies against an explicit public key, so ``v`` is kept
+    only for wire-format fidelity with Ethereum transactions.
+    """
+
+    r: int
+    s: int
+    v: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as 65 bytes: ``r (32) || s (32) || v (1)``."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big") + bytes([self.v])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        """Parse the 65-byte wire format produced by :meth:`to_bytes`."""
+        if len(data) != 65:
+            raise InvalidSignatureError(f"signature must be 65 bytes, got {len(data)}")
+        return cls(
+            r=int.from_bytes(data[:32], "big"),
+            s=int.from_bytes(data[32:64], "big"),
+            v=data[64],
+        )
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A point on secp256k1, plus Ethereum-style address derivation."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not _is_on_curve((self.x, self.y)):
+            raise InvalidKeyError("public key is not a point on secp256k1")
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed SEC1 encoding: ``0x04 || x (32) || y (32)``."""
+        return b"\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        """Parse the uncompressed SEC1 encoding."""
+        if len(data) != 65 or data[0] != 0x04:
+            raise InvalidKeyError("expected 65-byte uncompressed public key")
+        return cls(
+            x=int.from_bytes(data[1:33], "big"), y=int.from_bytes(data[33:65], "big")
+        )
+
+    @property
+    def address(self) -> str:
+        """Ethereum-style address: last 20 bytes of keccak256(x || y)."""
+        return address_from_public_key(self.to_bytes()[1:])
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Verify an ECDSA signature over ``keccak256(message)``.
+
+        Returns True/False rather than raising, because verification failure
+        is an expected condition for adversarial inputs.
+        """
+        r, s = signature.r, signature.s
+        if not (1 <= r < N and 1 <= s < N):
+            return False
+        digest = hash_to_int(message, N)
+        s_inv = _inverse_mod(s, N)
+        u1 = digest * s_inv % N
+        u2 = r * s_inv % N
+        point = _point_add(_point_mul(u1, (GX, GY)), _point_mul(u2, (self.x, self.y)))
+        if point is None:
+            return False
+        return point[0] % N == r
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A secp256k1 private scalar with deterministic (RFC 6979-style) signing."""
+
+    secret: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.secret < N:
+            raise InvalidKeyError("private key scalar out of range [1, n)")
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator) -> "PrivateKey":
+        """Generate a key from an explicit RNG (deterministic under a seed)."""
+        while True:
+            candidate = int.from_bytes(rng.bytes(32), "big")
+            if 1 <= candidate < N:
+                return cls(candidate)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "PrivateKey":
+        """Derive a key deterministically by hashing ``seed`` into the field.
+
+        Used for device identities ("burned-in" manufacturer keys) where the
+        key must be a pure function of the device serial.
+        """
+        counter = 0
+        while True:
+            candidate = int.from_bytes(
+                keccak256(seed + counter.to_bytes(4, "big")), "big"
+            )
+            if 1 <= candidate < N:
+                return cls(candidate)
+            counter += 1
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The corresponding curve point ``secret * G``."""
+        point = _point_mul(self.secret, (GX, GY))
+        assert point is not None  # secret is in [1, n) so this cannot be infinity
+        return PublicKey(*point)
+
+    @property
+    def address(self) -> str:
+        """Address of the derived public key."""
+        return self.public_key.address
+
+    def _deterministic_nonce(self, digest: int, attempt: int) -> int:
+        """Derive a per-message nonce via HMAC chaining (RFC 6979 in spirit)."""
+        key = self.secret.to_bytes(32, "big")
+        data = digest.to_bytes(32, "big") + attempt.to_bytes(4, "big")
+        counter = 0
+        while True:
+            material = hmac_sha256(key, data + counter.to_bytes(4, "big"))
+            nonce = int.from_bytes(material, "big")
+            if 1 <= nonce < N:
+                return nonce
+            counter += 1
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``keccak256(message)``, producing a low-s signature."""
+        digest = hash_to_int(message, N)
+        attempt = 0
+        while True:
+            k = self._deterministic_nonce(digest, attempt)
+            point = _point_mul(k, (GX, GY))
+            assert point is not None
+            r = point[0] % N
+            if r == 0:
+                attempt += 1
+                continue
+            s = _inverse_mod(k, N) * (digest + r * self.secret) % N
+            if s == 0:
+                attempt += 1
+                continue
+            v = point[1] & 1
+            if s > N // 2:  # enforce low-s, flipping the parity bit to match
+                s = N - s
+                v ^= 1
+            return Signature(r=r, s=s, v=v)
+
+
+def shared_secret(private_key: PrivateKey, public_key: PublicKey) -> bytes:
+    """Static ECDH on secp256k1: derive a shared 32-byte secret.
+
+    Both sides compute ``secret * PeerPublic`` and hash the x coordinate.
+    Used to provision data keys into enclaves: the provider encrypts under
+    the ECDH secret shared with the enclave's ephemeral key.
+    """
+    point = _point_mul(private_key.secret, (public_key.x, public_key.y))
+    if point is None:
+        raise InvalidKeyError("ECDH produced the point at infinity")
+    return keccak256(b"ecdh" + point[0].to_bytes(32, "big"))
+
+
+def verify_with_address(address: str, message: bytes, signature: Signature,
+                        public_key: PublicKey) -> bool:
+    """Verify a signature and check the key actually controls ``address``.
+
+    Without public-key recovery, callers must supply the claimed key; this
+    helper binds the two checks together so no call site forgets the address
+    comparison.
+    """
+    if public_key.address != address:
+        return False
+    return public_key.verify(message, signature)

@@ -1,0 +1,93 @@
+"""Authenticated symmetric encryption for the storage subsystem.
+
+Providers encrypt their data before handing it to any storage backend, so the
+backend operator learns nothing.  The construction is encrypt-then-MAC over a
+SHA-256 counter-mode keystream:
+
+* ``enc_key, mac_key = HKDF-like split of the master key``
+* ``ciphertext = plaintext XOR SHA256(enc_key || nonce || counter)...``
+* ``tag = HMAC-SHA256(mac_key, nonce || ciphertext)``
+
+This is a standard, honest construction (CTR + HMAC), implemented with
+primitives from the standard library so the repository has no binary
+dependencies.  Keys are 32 bytes; nonces are 16 bytes and must be unique per
+message, which :func:`encrypt` guarantees by drawing them from the caller's
+RNG and embedding them in the envelope.
+"""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.hashing import hmac_sha256, sha256
+from repro.errors import DecryptionError
+
+KEY_BYTES = 32
+NONCE_BYTES = 16
+TAG_BYTES = 32
+_BLOCK_BYTES = 32  # SHA-256 output size
+
+
+def generate_key(rng: np.random.Generator) -> bytes:
+    """Draw a fresh 32-byte symmetric key from the caller's RNG."""
+    return rng.bytes(KEY_BYTES)
+
+
+def _derive_subkeys(key: bytes) -> tuple[bytes, bytes]:
+    if len(key) != KEY_BYTES:
+        raise DecryptionError(f"key must be {KEY_BYTES} bytes")
+    return sha256(key + b"enc"), sha256(key + b"mac")
+
+
+def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _BLOCK_BYTES - 1) // _BLOCK_BYTES):
+        blocks.append(sha256(enc_key + nonce + counter.to_bytes(8, "big")))
+    return b"".join(blocks)[:length]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A sealed message: nonce, ciphertext and authentication tag."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire format: ``nonce || tag || ciphertext``."""
+        return self.nonce + self.tag + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        """Parse the wire format produced by :meth:`to_bytes`."""
+        if len(data) < NONCE_BYTES + TAG_BYTES:
+            raise DecryptionError("envelope too short")
+        return cls(
+            nonce=data[:NONCE_BYTES],
+            tag=data[NONCE_BYTES:NONCE_BYTES + TAG_BYTES],
+            ciphertext=data[NONCE_BYTES + TAG_BYTES:],
+        )
+
+
+def encrypt(key: bytes, plaintext: bytes, rng: np.random.Generator) -> Envelope:
+    """Encrypt and authenticate ``plaintext`` under ``key``."""
+    enc_key, mac_key = _derive_subkeys(key)
+    nonce = rng.bytes(NONCE_BYTES)
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac_sha256(mac_key, nonce + ciphertext)
+    return Envelope(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def decrypt(key: bytes, envelope: Envelope) -> bytes:
+    """Verify the tag and decrypt, raising :class:`DecryptionError` on tamper."""
+    enc_key, mac_key = _derive_subkeys(key)
+    expected_tag = hmac_sha256(mac_key, envelope.nonce + envelope.ciphertext)
+    if not hmac.compare_digest(expected_tag, envelope.tag):
+        raise DecryptionError("authentication tag mismatch (wrong key or tampered)")
+    stream = _keystream(enc_key, envelope.nonce, len(envelope.ciphertext))
+    return bytes(c ^ s for c, s in zip(envelope.ciphertext, stream))

@@ -1,0 +1,211 @@
+"""Exception hierarchy for the PDS2 reproduction.
+
+Every subsystem raises exceptions derived from :class:`PDS2Error`, so callers
+can catch platform failures without catching unrelated Python errors.  The
+hierarchy mirrors the subsystem layout: crypto, chain, governance, tee,
+storage, ml, privacy, rewards, identity and core each have a dedicated branch.
+"""
+
+from __future__ import annotations
+
+
+class PDS2Error(Exception):
+    """Base class for every error raised by the PDS2 platform."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptographic substrate
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(PDS2Error):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature failed verification against the claimed public key."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key is malformed, out of range, or inconsistent with its curve."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted (wrong key, tampered payload)."""
+
+
+class SecretSharingError(CryptoError):
+    """Secret shares are inconsistent, insufficient, or malformed."""
+
+
+class MerkleProofError(CryptoError):
+    """A Merkle inclusion proof does not verify against the stated root."""
+
+
+# ---------------------------------------------------------------------------
+# Blockchain substrate
+# ---------------------------------------------------------------------------
+
+
+class ChainError(PDS2Error):
+    """Base class for blockchain-substrate failures."""
+
+
+class InvalidTransactionError(ChainError):
+    """A transaction is malformed, unsigned, or replayed (bad nonce)."""
+
+
+class InsufficientBalanceError(ChainError):
+    """An account cannot cover a transfer value plus gas."""
+
+
+class OutOfGasError(ChainError):
+    """Contract execution exceeded the transaction gas limit."""
+
+
+class ContractError(ChainError):
+    """A contract call reverted.
+
+    Mirrors Solidity's ``revert``: all state changes from the call are rolled
+    back and the message explains the violated rule.
+    """
+
+
+class InvalidBlockError(ChainError):
+    """A block fails structural or consensus validation."""
+
+
+class UnknownContractError(ChainError):
+    """A call targets an address with no deployed contract."""
+
+
+# ---------------------------------------------------------------------------
+# Governance layer
+# ---------------------------------------------------------------------------
+
+
+class GovernanceError(PDS2Error):
+    """Base class for governance-layer rule violations."""
+
+
+class WorkloadStateError(GovernanceError):
+    """An operation is illegal in the workload's current lifecycle state."""
+
+
+class CertificateError(GovernanceError):
+    """A participation certificate is invalid, expired, or mis-signed."""
+
+
+class AuditError(GovernanceError):
+    """The audit trail is inconsistent with the recorded chain state."""
+
+
+# ---------------------------------------------------------------------------
+# Trusted execution environments
+# ---------------------------------------------------------------------------
+
+
+class TEEError(PDS2Error):
+    """Base class for TEE failures."""
+
+
+class AttestationError(TEEError):
+    """An enclave quote failed remote attestation."""
+
+
+class SealingError(TEEError):
+    """Sealed data could not be unsealed (wrong enclave measurement)."""
+
+
+class EnclaveViolationError(TEEError):
+    """Code attempted an operation forbidden inside the enclave."""
+
+
+# ---------------------------------------------------------------------------
+# Storage subsystem
+# ---------------------------------------------------------------------------
+
+
+class StorageError(PDS2Error):
+    """Base class for storage-subsystem failures."""
+
+
+class ObjectNotFoundError(StorageError):
+    """No object exists under the requested content address or key."""
+
+
+class AccessDeniedError(StorageError):
+    """The caller is not authorized to read the requested object."""
+
+
+class IntegrityError(StorageError):
+    """Stored bytes do not match their content address or checksum."""
+
+
+# ---------------------------------------------------------------------------
+# Machine learning / network substrate
+# ---------------------------------------------------------------------------
+
+
+class MLError(PDS2Error):
+    """Base class for decentralized-ML failures."""
+
+
+class ModelCompatibilityError(MLError):
+    """Two models cannot be merged (different shapes or families)."""
+
+
+class SimulationError(PDS2Error):
+    """The discrete-event network simulation reached an invalid state."""
+
+
+# ---------------------------------------------------------------------------
+# Privacy
+# ---------------------------------------------------------------------------
+
+
+class PrivacyError(PDS2Error):
+    """Base class for differential-privacy failures."""
+
+
+class PrivacyBudgetExceededError(PrivacyError):
+    """An operation would exceed the accountant's (epsilon, delta) budget."""
+
+
+# ---------------------------------------------------------------------------
+# Rewards
+# ---------------------------------------------------------------------------
+
+
+class RewardError(PDS2Error):
+    """Base class for reward-scheme failures."""
+
+
+# ---------------------------------------------------------------------------
+# Identity / authenticity
+# ---------------------------------------------------------------------------
+
+
+class IdentityError(PDS2Error):
+    """Base class for device-identity and data-authenticity failures."""
+
+
+class AuthenticityError(IdentityError):
+    """A data point failed authenticity verification (forgery, replay)."""
+
+
+# ---------------------------------------------------------------------------
+# Marketplace core
+# ---------------------------------------------------------------------------
+
+
+class MarketplaceError(PDS2Error):
+    """Base class for marketplace-core failures."""
+
+
+class MatchingError(MarketplaceError):
+    """No valid provider/executor assignment satisfies the workload spec."""
+
+
+class WorkloadSpecError(MarketplaceError):
+    """A workload specification is malformed or self-contradictory."""

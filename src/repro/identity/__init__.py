@@ -1,0 +1,38 @@
+"""Device identity and data authenticity (paper Section IV-B).
+
+Manufacturer-certified device keys, signed and timestamped sensor readings,
+and the executor-side verifier that rejects forgeries, tampering and
+duplicate resale.
+"""
+
+from repro.identity.authenticity import (
+    AuthenticityVerifier,
+    RejectionReason,
+    VerificationStats,
+    forge_reading,
+    replay_reading,
+    simulate_adversarial_stream,
+    tamper_reading,
+)
+from repro.identity.device import (
+    DeviceCertificate,
+    IoTDevice,
+    Manufacturer,
+    ManufacturerRegistry,
+    SignedReading,
+)
+
+__all__ = [
+    "AuthenticityVerifier",
+    "RejectionReason",
+    "VerificationStats",
+    "forge_reading",
+    "replay_reading",
+    "simulate_adversarial_stream",
+    "tamper_reading",
+    "DeviceCertificate",
+    "IoTDevice",
+    "Manufacturer",
+    "ManufacturerRegistry",
+    "SignedReading",
+]

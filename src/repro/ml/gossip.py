@@ -1,0 +1,293 @@
+"""Gossip learning (paper Section III-C, the selected aggregation method).
+
+Implements the Ormándi-style protocol: every node periodically wakes, trains
+its model on local data, and pushes the parameters to a random overlay
+neighbor; on receipt, a node merges the incoming model with its own and takes
+a local gradient step.  There is no coordinator, no global round, and no
+barrier — the properties the paper values for PDS2 (no bottleneck, no
+aggregation black box, churn tolerance).
+
+:class:`GossipTrainer` wires nodes onto the discrete-event network, runs the
+protocol for simulated time, and records an accuracy-versus-time history
+plus full traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.compression import (
+    CompressedUpdate,
+    CompressionConfig,
+    compress,
+    merge_compressed_into,
+)
+from repro.ml.datasets import Dataset
+from repro.ml.merge import MergeStrategy, TrackedModel, merge_into
+from repro.ml.models import Model
+from repro.net.churn import ChurnModel
+from repro.net.simulator import Network, Simulator
+from repro.net.topology import (
+    assign_latencies,
+    neighbors_map,
+    random_regular_overlay,
+)
+from repro.utils.rng import derive_rng
+
+#: Fixed per-message envelope overhead (headers, age, sample count).
+MESSAGE_OVERHEAD_BYTES = 64
+
+
+@dataclass
+class GossipConfig:
+    """Protocol hyperparameters."""
+
+    wake_interval_s: float = 10.0
+    local_steps: int = 4
+    batch_size: int = 16
+    learning_rate: float = 0.1
+    merge_strategy: MergeStrategy = MergeStrategy.AGE_WEIGHTED
+    push_count: int = 1
+    overlay_degree: int = 4
+    compression: CompressionConfig = field(
+        default_factory=CompressionConfig
+    )
+    dp_noise_std: float = 0.0  # Gaussian noise on every *shared* model
+
+    def __post_init__(self) -> None:
+        if self.wake_interval_s <= 0:
+            raise MLError("wake interval must be positive")
+        if self.local_steps < 1 or self.push_count < 1:
+            raise MLError("local steps and push count must be >= 1")
+        if self.dp_noise_std < 0:
+            raise MLError("dp noise std must be non-negative")
+
+
+@dataclass
+class ModelMessage:
+    """The gossip payload: a parameter vector plus merge metadata."""
+
+    params: np.ndarray
+    age: int
+    samples: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.params.nbytes + MESSAGE_OVERHEAD_BYTES
+
+
+class GossipNode:
+    """One gossip participant: local data, a tracked model, a wake loop."""
+
+    def __init__(self, address: str, model: Model, data: Dataset,
+                 config: GossipConfig, simulator: Simulator,
+                 network: Network, peers: list[str],
+                 rng: np.random.Generator):
+        self.address = address
+        self.tracked = TrackedModel(model=model, age=0, samples=len(data))
+        self.data = data
+        self.config = config
+        self.simulator = simulator
+        self.network = network
+        self.peers = list(peers)
+        self.rng = rng
+        self.merges_performed = 0
+        self.wakes = 0
+
+    # -- protocol --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first wake with a random phase (desynchronization)."""
+        first = float(self.rng.uniform(0, self.config.wake_interval_s))
+        self.simulator.schedule(first, self._wake)
+
+    def _wake(self) -> None:
+        self.simulator.schedule(self.config.wake_interval_s, self._wake)
+        if not self.network.is_online(self.address):
+            return
+        self.wakes += 1
+        self._train_local()
+        for _ in range(self.config.push_count):
+            if not self.peers:
+                break
+            peer = self.peers[int(self.rng.integers(0, len(self.peers)))]
+            shared_params = self.tracked.model.params
+            if self.config.dp_noise_std > 0:
+                # Local DP: only a noised view of the model ever leaves the
+                # node, bounding what any recipient learns about local data.
+                shared_params = shared_params + self.rng.normal(
+                    0.0, self.config.dp_noise_std, shared_params.shape
+                )
+            message = compress(
+                shared_params,
+                age=self.tracked.age,
+                samples=self.tracked.samples,
+                config=self.config.compression,
+                rng=self.rng,
+            )
+            self.network.send(self.address, peer, message,
+                              message.size_bytes)
+
+    def _train_local(self) -> None:
+        self.tracked.model.train_steps(
+            self.data.features, self.data.targets,
+            steps=self.config.local_steps,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.batch_size,
+            rng=self.rng,
+        )
+        self.tracked.age += self.config.local_steps
+
+    def on_message(self, sender: str,
+                   message: "CompressedUpdate | ModelMessage") -> None:
+        """Merge the incoming model, then take one local correction step."""
+        if isinstance(message, CompressedUpdate):
+            merge_compressed_into(self.tracked, message,
+                                  self.config.merge_strategy)
+        else:
+            merge_into(
+                self.tracked,
+                remote_params=message.params,
+                remote_age=message.age,
+                remote_samples=message.samples,
+                strategy=self.config.merge_strategy,
+            )
+        self.merges_performed += 1
+        if len(self.data):
+            self.tracked.model.train_steps(
+                self.data.features, self.data.targets,
+                steps=1,
+                learning_rate=self.config.learning_rate,
+                batch_size=self.config.batch_size,
+                rng=self.rng,
+            )
+            self.tracked.age += 1
+
+
+@dataclass
+class GossipResult:
+    """Outcome of one gossip run."""
+
+    history: list[tuple[float, float]]          # (sim time, mean accuracy)
+    final_mean_score: float
+    final_online_score: float                   # mean over online nodes only
+    bytes_delivered: int
+    messages_delivered: int
+    messages_dropped: int
+    max_node_bytes: int                          # heaviest single node load
+    per_node_scores: list[float] = field(default_factory=list)
+
+
+class GossipTrainer:
+    """Builds and runs a full gossip-learning deployment."""
+
+    def __init__(self, model_factory: Callable[[], Model],
+                 partitions: list[Dataset], test_set: Dataset,
+                 config: Optional[GossipConfig] = None, seed: int = 0,
+                 churn: Optional[ChurnModel] = None,
+                 mean_latency_s: float = 0.05,
+                 upload_bytes_per_s: "float | list[float]" = 1_250_000.0):
+        """``upload_bytes_per_s`` may be a single rate or one per node —
+        the heterogeneous-devices setting of Section III-C."""
+        if len(partitions) < 2:
+            raise MLError("gossip needs at least two providers")
+        if isinstance(upload_bytes_per_s, (int, float)):
+            uplinks = [float(upload_bytes_per_s)] * len(partitions)
+        else:
+            uplinks = [float(rate) for rate in upload_bytes_per_s]
+            if len(uplinks) != len(partitions):
+                raise MLError("need one uplink rate per provider")
+        self.config = config if config is not None else GossipConfig()
+        self.test_set = test_set
+        self.simulator = Simulator()
+        self.network = Network(self.simulator,
+                               default_latency_s=mean_latency_s)
+        topo_rng = derive_rng(seed, "gossip-topology")
+        overlay = random_regular_overlay(
+            len(partitions),
+            min(self.config.overlay_degree, len(partitions) - 1),
+            topo_rng,
+        )
+        address_of = self._address_of
+        self.nodes: list[GossipNode] = []
+        for index, part in enumerate(partitions):
+            address = address_of(index)
+            node_rng = derive_rng(seed, f"gossip-node-{index}")
+            model = model_factory()
+            node = GossipNode(
+                address=address, model=model, data=part, config=self.config,
+                simulator=self.simulator, network=self.network,
+                peers=[], rng=node_rng,
+            )
+            self.nodes.append(node)
+            self.network.attach(address, node,
+                                upload_bytes_per_s=uplinks[index])
+        peer_map = neighbors_map(overlay, address_of)
+        for index, node in enumerate(self.nodes):
+            node.peers = peer_map[address_of(index)]
+        assign_latencies(self.network, overlay, address_of, topo_rng,
+                         mean_latency_s=mean_latency_s)
+        if churn is not None:
+            churn.install(self.simulator, self.network,
+                          [node.address for node in self.nodes],
+                          derive_rng(seed, "gossip-churn"))
+
+    @staticmethod
+    def _address_of(index: int) -> str:
+        return f"gossip-{index}"
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def mean_score(self, sample_nodes: int = 16) -> float:
+        """Mean test score over (up to) ``sample_nodes`` evenly-spaced nodes."""
+        step = max(1, len(self.nodes) // sample_nodes)
+        chosen = self.nodes[::step][:sample_nodes]
+        scores = [
+            node.tracked.model.score(self.test_set.features,
+                                     self.test_set.targets)
+            for node in chosen
+        ]
+        return float(np.mean(scores))
+
+    def run(self, duration_s: float,
+            eval_interval_s: float = 50.0) -> GossipResult:
+        """Run the protocol for ``duration_s`` of simulated time."""
+        for node in self.nodes:
+            node.start()
+        history: list[tuple[float, float]] = []
+        checkpoints = np.arange(eval_interval_s, duration_s + 1e-9,
+                                eval_interval_s)
+        for checkpoint in checkpoints:
+            self.simulator.run_until(float(checkpoint))
+            history.append((float(checkpoint), self.mean_score()))
+        per_node = [
+            node.tracked.model.score(self.test_set.features,
+                                     self.test_set.targets)
+            for node in self.nodes
+        ]
+        online_scores = [
+            score for node, score in zip(self.nodes, per_node)
+            if self.network.is_online(node.address)
+        ]
+        max_node_bytes = max(
+            self.network.node_state(node.address).bytes_sent
+            + self.network.node_state(node.address).bytes_received
+            for node in self.nodes
+        )
+        return GossipResult(
+            history=history,
+            final_mean_score=float(np.mean(per_node)),
+            final_online_score=float(
+                np.mean(online_scores) if online_scores
+                else np.mean(per_node)
+            ),
+            bytes_delivered=self.network.stats.bytes_delivered,
+            messages_delivered=self.network.stats.messages_delivered,
+            messages_dropped=self.network.stats.messages_dropped,
+            max_node_bytes=max_node_bytes,
+            per_node_scores=per_node,
+        )

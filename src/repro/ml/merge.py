@@ -1,0 +1,95 @@
+"""Model-merge strategies for decentralized aggregation.
+
+Gossip learning's core operation is merging a received model with the local
+one.  The paper cites Ormándi et al., whose best variant weights merges by
+model *age* (number of updates absorbed); FedAvg weights by sample count.
+All three rules are implemented so the merge ablation (E14) can compare
+them under identical schedules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MLError, ModelCompatibilityError
+from repro.ml.models import Model
+
+
+class MergeStrategy(enum.Enum):
+    """How two (or more) models combine into one."""
+
+    AVERAGE = "average"              # plain parameter mean
+    SAMPLE_WEIGHTED = "sample"       # weighted by training-set size
+    AGE_WEIGHTED = "age"             # weighted by model age (gossip learning)
+
+
+@dataclass
+class TrackedModel:
+    """A model plus the merge-relevant bookkeeping.
+
+    ``age`` counts absorbed updates (grows on every local step and is
+    max-combined on merge, following the gossip-learning rule); ``samples``
+    is the size of the data the model was trained on.
+    """
+
+    model: Model
+    age: int = 0
+    samples: int = 0
+
+
+def merge_parameter_vectors(vectors: list[np.ndarray],
+                            weights: list[float]) -> np.ndarray:
+    """Convex combination of parameter vectors."""
+    if len(vectors) != len(weights) or not vectors:
+        raise MLError("need equal, non-empty vectors and weights")
+    total = float(sum(weights))
+    if total <= 0:
+        raise MLError("merge weights must sum to a positive value")
+    stacked = np.stack(vectors)
+    coeffs = np.asarray(weights, dtype=float) / total
+    return coeffs @ stacked
+
+
+def merge_into(local: TrackedModel, remote_params: np.ndarray,
+               remote_age: int, remote_samples: int,
+               strategy: MergeStrategy) -> None:
+    """Merge a received parameter vector into ``local`` in place.
+
+    Updates the local age to ``max(local, remote)`` (so age keeps meaning
+    "updates absorbed by the freshest ancestor") and accumulates a sample
+    estimate for sample-weighted merging.
+    """
+    if remote_params.shape != (local.model.num_params,):
+        raise ModelCompatibilityError("remote model has incompatible shape")
+    if strategy is MergeStrategy.AVERAGE:
+        weights = [1.0, 1.0]
+    elif strategy is MergeStrategy.SAMPLE_WEIGHTED:
+        weights = [float(max(1, local.samples)),
+                   float(max(1, remote_samples))]
+    elif strategy is MergeStrategy.AGE_WEIGHTED:
+        weights = [float(max(1, local.age)), float(max(1, remote_age))]
+    else:  # pragma: no cover - exhaustive enum
+        raise MLError(f"unknown merge strategy {strategy}")
+    merged = merge_parameter_vectors(
+        [local.model.params, remote_params], weights
+    )
+    local.model.set_params(merged)
+    local.age = max(local.age, remote_age)
+
+
+def federated_average(models: list[Model],
+                      sample_counts: list[int]) -> np.ndarray:
+    """FedAvg: sample-count-weighted mean of client parameter vectors."""
+    if len(models) != len(sample_counts) or not models:
+        raise MLError("need equal, non-empty model and count lists")
+    reference = models[0]
+    for model in models[1:]:
+        if not reference.compatible_with(model):
+            raise ModelCompatibilityError("cannot average unlike models")
+    return merge_parameter_vectors(
+        [model.params for model in models],
+        [float(max(0, count)) for count in sample_counts],
+    )

@@ -1,0 +1,199 @@
+"""Deterministic discrete-event network simulator.
+
+All decentralized-ML experiments (E5, E6) run on this substrate.  It is a
+classic event-heap simulator:
+
+* events are ``(time, sequence, callback)`` tuples; the sequence number makes
+  tie-breaking — and therefore the whole simulation — fully deterministic;
+* :class:`Network` models point-to-point message passing with per-link
+  latency, per-node bandwidth and online/offline state;
+* every delivered message is charged to traffic counters, giving the
+  communication-cost axis of the gossip-vs-federated comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """An event heap with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError("cannot schedule events in the past")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), callback)
+        )
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to and including ``end_time``."""
+        if end_time < self.now:
+            raise SimulationError("end time is in the past")
+        while self._heap and self._heap[0][0] <= end_time:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            callback()
+        self.now = end_time
+
+    def run_to_completion(self, max_events: int = 1_000_000) -> None:
+        """Drain the event heap (bounded to catch runaway schedules)."""
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise SimulationError("event budget exhausted; likely a loop")
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            processed += 1
+            callback()
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+
+class MessageHandler(Protocol):
+    """Anything that can be attached to the network as a node."""
+
+    def on_message(self, sender: str, message: Any) -> None:
+        """Receive one delivered message."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class LinkProfile:
+    """Per-link latency; per-node bandwidth lives on :class:`NodeState`."""
+
+    latency_s: float = 0.05
+
+
+@dataclass
+class NodeState:
+    """Network-facing state of one attached node."""
+
+    handler: MessageHandler
+    upload_bytes_per_s: float = 1_250_000.0  # 10 Mbit/s default uplink
+    online: bool = True
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+
+
+@dataclass
+class TrafficStats:
+    """Network-wide totals for experiment reporting."""
+
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_delivered: int = 0
+
+
+class Network:
+    """Point-to-point message passing over a :class:`Simulator`.
+
+    Delivery time = link latency + size / sender uplink bandwidth.  Messages
+    to or from offline nodes are dropped silently (UDP-like), which is what
+    gossip protocols are designed to tolerate and what breaks naive
+    centralized schemes under churn.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 default_latency_s: float = 0.05):
+        self.simulator = simulator
+        self.default_latency_s = default_latency_s
+        self._nodes: dict[str, NodeState] = {}
+        self._links: dict[tuple[str, str], LinkProfile] = {}
+        self.stats = TrafficStats()
+
+    # -- membership --------------------------------------------------------------
+
+    def attach(self, address: str, handler: MessageHandler,
+               upload_bytes_per_s: float = 1_250_000.0) -> None:
+        """Register a node under ``address``."""
+        if address in self._nodes:
+            raise SimulationError(f"address {address!r} already attached")
+        self._nodes[address] = NodeState(
+            handler=handler, upload_bytes_per_s=upload_bytes_per_s
+        )
+
+    def set_online(self, address: str, online: bool) -> None:
+        """Churn control: toggle a node's availability."""
+        self._node(address).online = online
+
+    def is_online(self, address: str) -> bool:
+        return self._node(address).online
+
+    def node_state(self, address: str) -> NodeState:
+        """Accounting view of one node."""
+        return self._node(address)
+
+    def _node(self, address: str) -> NodeState:
+        if address not in self._nodes:
+            raise SimulationError(f"unknown address {address!r}")
+        return self._nodes[address]
+
+    @property
+    def addresses(self) -> list[str]:
+        return list(self._nodes)
+
+    # -- links ---------------------------------------------------------------------
+
+    def set_link(self, src: str, dst: str, latency_s: float) -> None:
+        """Override the latency of one directed link."""
+        if latency_s < 0:
+            raise SimulationError("latency must be non-negative")
+        self._links[(src, dst)] = LinkProfile(latency_s=latency_s)
+
+    def link_latency(self, src: str, dst: str) -> float:
+        profile = self._links.get((src, dst))
+        return profile.latency_s if profile else self.default_latency_s
+
+    # -- transport -------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any, size_bytes: int) -> bool:
+        """Queue a message for delivery; returns False when dropped.
+
+        Drops happen when either endpoint is offline *at send time*; a
+        receiver going offline mid-flight also loses the message (checked at
+        delivery).
+        """
+        sender = self._node(src)
+        receiver = self._node(dst)
+        if size_bytes < 0:
+            raise SimulationError("message size must be non-negative")
+        if not sender.online or not receiver.online:
+            sender.messages_dropped += 1
+            self.stats.messages_dropped += 1
+            return False
+        transfer_delay = size_bytes / sender.upload_bytes_per_s
+        delay = self.link_latency(src, dst) + transfer_delay
+        sender.bytes_sent += size_bytes
+        sender.messages_sent += 1
+
+        def deliver() -> None:
+            target = self._nodes.get(dst)
+            if target is None or not target.online:
+                self.stats.messages_dropped += 1
+                return
+            target.bytes_received += size_bytes
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += size_bytes
+            target.handler.on_message(src, message)
+
+        self.simulator.schedule(delay, deliver)
+        return True

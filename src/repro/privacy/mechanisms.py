@@ -1,0 +1,86 @@
+"""Differential-privacy mechanisms.
+
+The classic building blocks: Laplace (pure epsilon-DP), Gaussian
+((epsilon, delta)-DP with the analytic calibration), and randomized response
+for categorical survey-style values.  These are what PDS2 executors apply to
+workload outputs when the leak-risk analyzer flags them (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import PrivacyError
+
+
+def laplace_noise_scale(sensitivity: float, epsilon: float) -> float:
+    """Scale b of Laplace noise for an L1 sensitivity and epsilon."""
+    if sensitivity < 0:
+        raise PrivacyError("sensitivity must be non-negative")
+    if epsilon <= 0:
+        raise PrivacyError("epsilon must be positive")
+    return sensitivity / epsilon
+
+
+def laplace_mechanism(value, sensitivity: float, epsilon: float,
+                      rng: np.random.Generator):
+    """Add Laplace(b = sensitivity / epsilon) noise to a scalar or array."""
+    scale = laplace_noise_scale(sensitivity, epsilon)
+    value = np.asarray(value, dtype=float)
+    noised = value + rng.laplace(0.0, scale, value.shape)
+    return float(noised) if noised.shape == () else noised
+
+
+def gaussian_noise_sigma(sensitivity: float, epsilon: float,
+                         delta: float) -> float:
+    """Classic Gaussian-mechanism calibration.
+
+    ``sigma = sensitivity * sqrt(2 ln(1.25 / delta)) / epsilon`` — valid for
+    epsilon <= 1, conservative above.
+    """
+    if sensitivity < 0:
+        raise PrivacyError("sensitivity must be non-negative")
+    if epsilon <= 0:
+        raise PrivacyError("epsilon must be positive")
+    if not 0 < delta < 1:
+        raise PrivacyError("delta must be in (0, 1)")
+    return sensitivity * math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+
+
+def gaussian_mechanism(value, sensitivity: float, epsilon: float,
+                       delta: float, rng: np.random.Generator):
+    """Add calibrated Gaussian noise to a scalar or array (L2 sensitivity)."""
+    sigma = gaussian_noise_sigma(sensitivity, epsilon, delta)
+    value = np.asarray(value, dtype=float)
+    noised = value + rng.normal(0.0, sigma, value.shape)
+    return float(noised) if noised.shape == () else noised
+
+
+def randomized_response(truth: bool, epsilon: float,
+                        rng: np.random.Generator) -> bool:
+    """Warner's randomized response: answer truthfully w.p. e^eps/(1+e^eps)."""
+    if epsilon <= 0:
+        raise PrivacyError("epsilon must be positive")
+    keep_probability = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+    if rng.random() < keep_probability:
+        return bool(truth)
+    return not truth
+
+
+def randomized_response_estimate(responses: list[bool],
+                                 epsilon: float) -> float:
+    """Debias the observed positive rate of randomized responses.
+
+    Inverts the response channel: if p = e^eps / (1 + e^eps) is the truthful
+    probability, the true rate is ``(observed + p - 1) / (2p - 1)``.
+    """
+    if epsilon <= 0:
+        raise PrivacyError("epsilon must be positive")
+    if not responses:
+        raise PrivacyError("cannot estimate from zero responses")
+    p = math.exp(epsilon) / (1.0 + math.exp(epsilon))
+    observed = sum(1 for r in responses if r) / len(responses)
+    estimate = (observed + p - 1.0) / (2.0 * p - 1.0)
+    return min(1.0, max(0.0, estimate))

@@ -1,0 +1,101 @@
+"""Reward distribution: splitting a workload's pool among all actors.
+
+Section II-B requires that providers are paid for the value their data
+created and that infrastructure actors (executors, validators) "be
+incentivized with a share of the rewards".  This module converts valuation
+fractions into exact integer token payouts:
+
+* an ``infra_share`` fraction is carved out for executors/validators;
+* the provider remainder is split proportionally to contribution weights
+  (typically normalized Shapley values);
+* integer rounding uses the largest-remainder method, so the payout sums
+  *exactly* to the pool — no token is minted or burned by rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RewardError
+
+
+def largest_remainder_allocation(pool: int,
+                                 fractions: np.ndarray) -> np.ndarray:
+    """Split integer ``pool`` by ``fractions`` with exact-sum rounding."""
+    if pool < 0:
+        raise RewardError("reward pool must be non-negative")
+    fractions = np.asarray(fractions, dtype=float)
+    if len(fractions) == 0:
+        raise RewardError("cannot allocate to zero recipients")
+    if np.any(fractions < 0):
+        raise RewardError("allocation fractions must be non-negative")
+    total = fractions.sum()
+    if total <= 0:
+        fractions = np.full(len(fractions), 1.0 / len(fractions))
+    else:
+        fractions = fractions / total
+    raw = fractions * pool
+    floors = np.floor(raw).astype(int)
+    shortfall = pool - int(floors.sum())
+    remainders = raw - floors
+    # Give the leftover units to the largest remainders (ties: lower index).
+    order = np.lexsort((np.arange(len(raw)), -remainders))
+    for slot in order[:shortfall]:
+        floors[slot] += 1
+    return floors
+
+
+@dataclass(frozen=True)
+class RewardSplit:
+    """The final payout table for one workload."""
+
+    provider_payouts: dict[str, int]
+    executor_payouts: dict[str, int]
+    total: int
+
+    def payout_of(self, address: str) -> int:
+        return (self.provider_payouts.get(address, 0)
+                + self.executor_payouts.get(address, 0))
+
+
+def distribute_rewards(pool: int, provider_weights: dict[str, float],
+                       executors: list[str],
+                       infra_share: float = 0.1) -> RewardSplit:
+    """Compute the full payout table for one completed workload.
+
+    ``provider_weights`` maps provider addresses to contribution weights
+    (any non-negative scale — they are normalized internally).  Executors
+    split the infrastructure share equally, as the paper leaves their
+    pricing to the market.
+    """
+    if not 0 <= infra_share < 1:
+        raise RewardError("infra share must be in [0, 1)")
+    if not provider_weights:
+        raise RewardError("at least one provider must be rewarded")
+    infra_pool = int(round(pool * infra_share)) if executors else 0
+    provider_pool = pool - infra_pool
+
+    providers = sorted(provider_weights)
+    weights = np.array([provider_weights[p] for p in providers])
+    provider_amounts = largest_remainder_allocation(provider_pool, weights)
+    provider_payouts = {
+        address: int(amount)
+        for address, amount in zip(providers, provider_amounts)
+    }
+
+    executor_payouts: dict[str, int] = {}
+    if executors:
+        amounts = largest_remainder_allocation(
+            infra_pool, np.ones(len(executors))
+        )
+        executor_payouts = {
+            address: int(amount)
+            for address, amount in zip(sorted(executors), amounts)
+        }
+    return RewardSplit(
+        provider_payouts=provider_payouts,
+        executor_payouts=executor_payouts,
+        total=pool,
+    )

@@ -1,0 +1,159 @@
+"""Storage-backend interface (paper Section II-C, "storage subsystem").
+
+PDS2 is storage-agnostic by design (Section II-F): providers may keep data on
+their own hardware, in a decentralized swarm, or on third-party clouds, as
+long as the backend exposes this interface:
+
+* content-addressed ``put`` / ``get`` with integrity verification,
+* owner-controlled access grants (the *data control* requirement),
+* transfer accounting, so experiment E2 can compare the data-movement cost
+  of the Fig. 3 hardware configurations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import keccak256
+from repro.errors import AccessDeniedError, ObjectNotFoundError
+
+
+def content_address(data: bytes) -> str:
+    """The content address of ``data``: hex Keccak-256 of the bytes."""
+    return keccak256(data).hex()
+
+
+@dataclass
+class TransferLog:
+    """Byte-level accounting of what a backend moved, and for whom."""
+
+    bytes_in: int = 0
+    bytes_out: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def record_write(self, size: int) -> None:
+        self.bytes_in += size
+        self.writes += 1
+
+    def record_read(self, size: int) -> None:
+        self.bytes_out += size
+        self.reads += 1
+
+
+@dataclass
+class StoredObject:
+    """One stored blob plus its access-control list."""
+
+    data: bytes
+    owner: str
+    grants: set[str] = field(default_factory=set)
+
+    def readable_by(self, requester: str) -> bool:
+        return requester == self.owner or requester in self.grants
+
+
+class StorageBackend(abc.ABC):
+    """Common behavior for all storage subsystems.
+
+    Concrete backends override the private persistence hooks; the public
+    methods implement the shared access-control and accounting logic so
+    every backend enforces the same ownership rules.
+    """
+
+    def __init__(self) -> None:
+        self.transfer_log = TransferLog()
+
+    # -- persistence hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _store(self, object_id: str, obj: StoredObject) -> None:
+        """Persist ``obj`` under ``object_id``."""
+
+    @abc.abstractmethod
+    def _load(self, object_id: str) -> StoredObject:
+        """Load the object or raise :class:`ObjectNotFoundError`."""
+
+    @abc.abstractmethod
+    def _exists(self, object_id: str) -> bool:
+        """True when an object is stored under ``object_id``."""
+
+    # -- public API ----------------------------------------------------------------
+
+    def put(self, data: bytes, owner: str) -> str:
+        """Store ``data`` for ``owner``; returns its content address.
+
+        Re-putting identical bytes is idempotent and keeps the original
+        owner (content addressing deduplicates).
+        """
+        object_id = content_address(data)
+        if not self._exists(object_id):
+            self._store(object_id, StoredObject(data=data, owner=owner))
+        self.transfer_log.record_write(len(data))
+        return object_id
+
+    def get(self, object_id: str, requester: str) -> bytes:
+        """Fetch a blob, enforcing the owner's access grants."""
+        obj = self._load(object_id)
+        if not obj.readable_by(requester):
+            raise AccessDeniedError(
+                f"{requester} may not read object {object_id[:12]}…"
+            )
+        self._verify_integrity(object_id, obj.data)
+        self.transfer_log.record_read(len(obj.data))
+        return obj.data
+
+    def grant(self, object_id: str, owner: str, grantee: str) -> None:
+        """Owner-only: authorize ``grantee`` to read the object."""
+        obj = self._load(object_id)
+        if obj.owner != owner:
+            raise AccessDeniedError("only the owner may grant access")
+        obj.grants.add(grantee)
+        self._store(object_id, obj)
+
+    def revoke(self, object_id: str, owner: str, grantee: str) -> None:
+        """Owner-only: withdraw a previously granted authorization."""
+        obj = self._load(object_id)
+        if obj.owner != owner:
+            raise AccessDeniedError("only the owner may revoke access")
+        obj.grants.discard(grantee)
+        self._store(object_id, obj)
+
+    def exists(self, object_id: str) -> bool:
+        """True when the backend holds an object under ``object_id``."""
+        return self._exists(object_id)
+
+    def owner_of(self, object_id: str) -> str:
+        """The registered owner of the object."""
+        return self._load(object_id).owner
+
+    # -- integrity -------------------------------------------------------------------
+
+    @staticmethod
+    def _verify_integrity(object_id: str, data: bytes) -> None:
+        from repro.errors import IntegrityError
+
+        if content_address(data) != object_id:
+            raise IntegrityError(
+                f"object {object_id[:12]}… failed its content-address check"
+            )
+
+
+class InMemoryBackend(StorageBackend):
+    """The trivial reference backend: a dict. Used in tests and as a base."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._objects: dict[str, StoredObject] = {}
+
+    def _store(self, object_id: str, obj: StoredObject) -> None:
+        self._objects[object_id] = obj
+
+    def _load(self, object_id: str) -> StoredObject:
+        if object_id not in self._objects:
+            raise ObjectNotFoundError(f"no object {object_id[:12]}…")
+        return self._objects[object_id]
+
+    def _exists(self, object_id: str) -> bool:
+        return object_id in self._objects

@@ -1,0 +1,43 @@
+"""Trusted execution environments (paper Section III-B).
+
+Behavioral SGX simulation: measured enclaves with sealing, isolation and
+remote attestation; oblivious primitives for side-channel-free data access;
+and a calibrated cost model relating TEE, SMC, HE and plain execution.
+"""
+
+from repro.tee.attestation import AttestationService, Quote
+from repro.tee.cost_model import (
+    CostModel,
+    ExecutionBackend,
+    NetworkProfile,
+    WorkloadProfile,
+    mlp_profile,
+)
+from repro.tee.enclave import Enclave, EnclaveCode, TEEPlatform
+from repro.tee.oblivious import (
+    ObliviousAggregator,
+    TouchCounter,
+    oblivious_access,
+    oblivious_select,
+    oblivious_sort,
+    oblivious_write,
+)
+
+__all__ = [
+    "AttestationService",
+    "Quote",
+    "CostModel",
+    "ExecutionBackend",
+    "NetworkProfile",
+    "WorkloadProfile",
+    "mlp_profile",
+    "Enclave",
+    "EnclaveCode",
+    "TEEPlatform",
+    "ObliviousAggregator",
+    "TouchCounter",
+    "oblivious_access",
+    "oblivious_select",
+    "oblivious_sort",
+    "oblivious_write",
+]

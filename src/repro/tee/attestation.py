@@ -1,0 +1,144 @@
+"""Remote attestation for simulated enclaves.
+
+Mirrors the Intel SGX EPID/DCAP flow at the protocol level:
+
+* platforms are **provisioned**: their attestation keys are registered with
+  a (decentralizable) :class:`AttestationService`;
+* an enclave produces a :class:`Quote` — (measurement, report data, platform
+  id) signed by the platform's attestation key.  The report data binds the
+  enclave's ephemeral public key so a verified quote authenticates the key
+  a provider is about to encrypt data to;
+* verifiers call :meth:`AttestationService.verify`, which checks platform
+  registration, revocation status, the signature, and (optionally) that the
+  measurement is on the expected list.
+
+In PDS2, providers refuse to send data until the executor presents a quote
+whose measurement equals the workload code hash recorded on-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ecdsa import PublicKey, Signature
+from repro.errors import AttestationError
+from repro.tee.enclave import Enclave, TEEPlatform
+from repro.utils.serialization import canonical_json_bytes
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement about one running enclave."""
+
+    platform_id: str
+    measurement: bytes
+    report_data: bytes
+    platform_public_key: PublicKey
+    signature: Signature
+
+    def signed_payload(self) -> dict:
+        """The fields covered by the platform signature."""
+        return {
+            "platform_id": self.platform_id,
+            "measurement": self.measurement,
+            "report_data": self.report_data,
+        }
+
+    @staticmethod
+    def payload_bytes(platform_id: str, measurement: bytes,
+                      report_data: bytes) -> bytes:
+        return canonical_json_bytes({
+            "platform_id": platform_id,
+            "measurement": measurement,
+            "report_data": report_data,
+        })
+
+
+class AttestationService:
+    """Registry of provisioned platforms plus quote verification.
+
+    Plays the role of Intel's attestation service; in a deployment this
+    could itself be a smart contract, which is why verification is pure and
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._platforms: dict[str, PublicKey] = {}
+        self._revoked: set[str] = set()
+
+    # -- provisioning ---------------------------------------------------------
+
+    def provision_platform(self, platform: TEEPlatform) -> None:
+        """Register a platform's attestation key (manufacturer step)."""
+        if platform.platform_id in self._platforms:
+            raise AttestationError(
+                f"platform {platform.platform_id!r} already provisioned"
+            )
+        self._platforms[platform.platform_id] = platform.attestation_key.public_key
+
+    def revoke_platform(self, platform_id: str) -> None:
+        """Revoke a compromised platform; its future quotes fail."""
+        if platform_id not in self._platforms:
+            raise AttestationError(f"unknown platform {platform_id!r}")
+        self._revoked.add(platform_id)
+
+    def is_provisioned(self, platform_id: str) -> bool:
+        """True when the platform is registered and not revoked."""
+        return platform_id in self._platforms and platform_id not in self._revoked
+
+    # -- quoting ---------------------------------------------------------------
+
+    @staticmethod
+    def produce_quote(enclave: Enclave) -> Quote:
+        """Create a quote for ``enclave``, binding its ephemeral public key.
+
+        Signed by the *platform* attestation key, as in SGX where the
+        quoting enclave signs on behalf of application enclaves.
+        """
+        report_data = enclave.ephemeral_public_key.to_bytes()
+        payload = Quote.payload_bytes(
+            enclave.platform.platform_id, enclave.measurement, report_data
+        )
+        signature = enclave.platform.attestation_key.sign(payload)
+        return Quote(
+            platform_id=enclave.platform.platform_id,
+            measurement=enclave.measurement,
+            report_data=report_data,
+            platform_public_key=enclave.platform.attestation_key.public_key,
+            signature=signature,
+        )
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self, quote: Quote,
+               expected_measurement: bytes | None = None) -> PublicKey:
+        """Verify a quote; returns the attested enclave ephemeral public key.
+
+        Raises :class:`AttestationError` when the platform is unknown or
+        revoked, the signature is invalid, the embedded key does not match
+        the registered one, or the measurement differs from
+        ``expected_measurement`` (when given).
+        """
+        registered = self._platforms.get(quote.platform_id)
+        if registered is None:
+            raise AttestationError(f"unknown platform {quote.platform_id!r}")
+        if quote.platform_id in self._revoked:
+            raise AttestationError(f"platform {quote.platform_id!r} is revoked")
+        if (registered.x, registered.y) != (
+            quote.platform_public_key.x, quote.platform_public_key.y
+        ):
+            raise AttestationError("quote key does not match provisioned key")
+        payload = Quote.payload_bytes(
+            quote.platform_id, quote.measurement, quote.report_data
+        )
+        if not registered.verify(payload, quote.signature):
+            raise AttestationError("invalid quote signature")
+        if (expected_measurement is not None
+                and quote.measurement != expected_measurement):
+            raise AttestationError(
+                "enclave measurement does not match the expected workload code"
+            )
+        try:
+            return PublicKey.from_bytes(quote.report_data)
+        except Exception as exc:  # malformed report data is an attack signal
+            raise AttestationError("quote report data is not a public key") from exc

@@ -1,0 +1,218 @@
+"""Simulated trusted execution environments (paper Section III-B).
+
+The paper selects TEEs (Intel SGX) as the oblivious-computation mechanism for
+PDS2 executors.  Real enclave hardware is not available here, so this module
+implements a *behavioral* simulation that preserves every property the
+marketplace protocol observes:
+
+* **Measurement** — an enclave's identity is the hash of the exact code it
+  runs (``EnclaveCode.measurement`` hashes the registered function's source).
+  Change one character of the workload and the measurement changes.
+* **Sealing** — data sealed by an enclave can only be unsealed by an enclave
+  with the same measurement on the same platform (keys are derived from
+  ``platform_secret || measurement``).
+* **Isolation** — inputs provisioned into an enclave are encrypted under an
+  ECDH key shared with the enclave's ephemeral key; the host object never
+  holds plaintext, and the host-facing API exposes none.
+* **Attestation** — quotes bind (measurement, report data, platform) under
+  the platform's provisioned key; see :mod:`repro.tee.attestation`.
+
+What the simulation intentionally does *not* model are micro-architectural
+side channels; their mitigation cost is represented by the oblivious
+primitives (:mod:`repro.tee.oblivious`) and the calibrated cost model
+(:mod:`repro.tee.cost_model`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.crypto.ecdsa import PrivateKey, PublicKey, shared_secret
+from repro.crypto.hashing import keccak256, sha256
+from repro.crypto.symmetric import Envelope, decrypt, encrypt
+from repro.errors import DecryptionError, EnclaveViolationError, SealingError
+
+
+@dataclass(frozen=True)
+class EnclaveCode:
+    """A unit of code deployable into enclaves.
+
+    The measurement covers the name, version and the *source text* of the
+    entry point, mirroring SGX's MRENCLAVE covering the loaded pages.
+    """
+
+    name: str
+    version: str
+    entry_point: Callable[..., Any]
+
+    @property
+    def measurement(self) -> bytes:
+        """32-byte identity hash of this code unit."""
+        try:
+            source = inspect.getsource(self.entry_point)
+        except (OSError, TypeError):
+            # Builtins/lambdas without retrievable source fall back to the
+            # qualified name, which still distinguishes code units.
+            source = repr(self.entry_point)
+        payload = "\x00".join([self.name, self.version, source])
+        return keccak256(payload.encode("utf-8"))
+
+
+class TEEPlatform:
+    """One machine with TEE hardware (an executor's host).
+
+    Holds the platform secret (fused into the CPU on real hardware) and the
+    provisioned attestation key.  The platform can launch many enclaves.
+    """
+
+    def __init__(self, platform_id: str, rng: np.random.Generator):
+        self.platform_id = platform_id
+        self._platform_secret = rng.bytes(32)
+        self.attestation_key = PrivateKey.generate(rng)
+        self._rng = rng
+
+    def launch(self, code: EnclaveCode) -> "Enclave":
+        """Instantiate an enclave running ``code`` on this platform."""
+        return Enclave(platform=self, code=code, rng=self._rng)
+
+    def sealing_key(self, measurement: bytes) -> bytes:
+        """Derive the sealing key for a given enclave measurement.
+
+        Only this platform can derive it, and it is measurement-specific, so
+        sealed blobs move neither across machines nor across code versions.
+        """
+        return sha256(self._platform_secret + measurement)
+
+
+class Enclave:
+    """A running enclave instance.
+
+    The lifecycle mirrors the marketplace protocol:
+
+    1. ``launch`` (via :meth:`TEEPlatform.launch`) creates the instance with
+       a fresh ephemeral key pair;
+    2. the executor requests a quote binding the ephemeral public key
+       (:meth:`repro.tee.attestation.AttestationService.produce_quote`);
+    3. providers verify the quote, then provision data with
+       :meth:`provision_input`, encrypting under the ECDH shared key;
+    4. :meth:`run` executes the measured code over the decrypted inputs,
+       entirely inside enclave-private state;
+    5. results come out via :meth:`extract_output`, optionally encrypted to
+       the consumer's key so even the executor never sees them.
+    """
+
+    def __init__(self, platform: TEEPlatform, code: EnclaveCode,
+                 rng: np.random.Generator):
+        self.platform = platform
+        self.code = code
+        self._rng = rng
+        # Ephemeral enclave identity, generated inside the enclave.
+        self._ephemeral_key = PrivateKey.generate(rng)
+        # Private memory: host code must never touch attributes starting
+        # with _private.  (Python cannot enforce this; tests do.)
+        self._private_inputs: dict[str, Any] = {}
+        self._private_output: Any = None
+        self._ran = False
+        self.call_transitions = 0  # ECALL/OCALL counter for the cost model
+
+    @property
+    def measurement(self) -> bytes:
+        """The identity hash of the loaded code."""
+        return self.code.measurement
+
+    @property
+    def ephemeral_public_key(self) -> PublicKey:
+        """Public half of the enclave's session key (bound into quotes)."""
+        return self._ephemeral_key.public_key
+
+    # -- input provisioning ------------------------------------------------------
+
+    @staticmethod
+    def encrypt_for_enclave(enclave_public_key: PublicKey,
+                            sender_key: PrivateKey, plaintext: bytes,
+                            rng: np.random.Generator) -> Envelope:
+        """Provider-side helper: encrypt ``plaintext`` to an attested enclave.
+
+        Uses static ECDH between the provider key and the enclave's
+        ephemeral key, then authenticated symmetric encryption.
+        """
+        key = shared_secret(sender_key, enclave_public_key)
+        return encrypt(key, plaintext, rng)
+
+    def provision_input(self, label: str, envelope: Envelope,
+                        sender_public_key: PublicKey) -> None:
+        """Accept an encrypted input; decrypt it *inside* the enclave."""
+        self.call_transitions += 1
+        key = shared_secret(self._ephemeral_key, sender_public_key)
+        try:
+            plaintext = decrypt(key, envelope)
+        except DecryptionError as exc:
+            raise EnclaveViolationError(
+                f"input {label!r} failed authenticated decryption"
+            ) from exc
+        self._private_inputs[label] = plaintext
+
+    def provision_plain(self, label: str, value: Any) -> None:
+        """Accept a non-confidential input (e.g. public hyperparameters)."""
+        self.call_transitions += 1
+        self._private_inputs[label] = value
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, **kwargs: Any) -> None:
+        """Execute the measured entry point over the provisioned inputs.
+
+        The entry point receives the decrypted inputs dict plus any extra
+        keyword arguments; its return value stays in enclave-private memory
+        until extracted.
+        """
+        if self._ran:
+            raise EnclaveViolationError("enclave already executed its payload")
+        self.call_transitions += 1
+        self._private_output = self.code.entry_point(
+            dict(self._private_inputs), **kwargs
+        )
+        self._ran = True
+
+    # -- output extraction ----------------------------------------------------------
+
+    def extract_output(self, recipient_public_key: PublicKey | None = None,
+                       ) -> Any | Envelope:
+        """Release the result.
+
+        With ``recipient_public_key`` the output is serialized and encrypted
+        under an ECDH key with the recipient, so the *executor host* never
+        sees it — the workload-confidentiality requirement of Section II-B.
+        Without it, the plaintext result is returned (for public outputs).
+        """
+        if not self._ran:
+            raise EnclaveViolationError("enclave has not executed yet")
+        self.call_transitions += 1
+        if recipient_public_key is None:
+            return self._private_output
+        from repro.utils.serialization import canonical_json_bytes
+
+        payload = canonical_json_bytes(self._private_output)
+        key = shared_secret(self._ephemeral_key, recipient_public_key)
+        return encrypt(key, payload, self._rng)
+
+    # -- sealed storage ----------------------------------------------------------
+
+    def seal(self, data: bytes) -> Envelope:
+        """Encrypt ``data`` so only same-code-same-platform enclaves read it."""
+        key = self.platform.sealing_key(self.measurement)
+        return encrypt(key, data, self._rng)
+
+    def unseal(self, envelope: Envelope) -> bytes:
+        """Decrypt a blob sealed by an identical enclave on this platform."""
+        key = self.platform.sealing_key(self.measurement)
+        try:
+            return decrypt(key, envelope)
+        except DecryptionError as exc:
+            raise SealingError(
+                "sealed blob belongs to a different enclave or platform"
+            ) from exc

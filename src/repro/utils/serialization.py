@@ -1,0 +1,80 @@
+"""Canonical serialization used everywhere a hash or signature is computed.
+
+Hashes over structured data (transactions, blocks, workload specs, sensor
+readings) must be stable across Python versions and dict insertion orders.
+``canonical_json`` provides that stability: keys are sorted, no insignificant
+whitespace is emitted, and only a small set of JSON-safe types is accepted.
+Binary payloads are encoded as ``{"__bytes__": "<hex>"}`` wrappers so they can
+round-trip without loss.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+_BYTES_KEY = "__bytes__"
+
+
+def _encode(value: Any) -> Any:
+    """Recursively convert ``value`` into a JSON-serializable structure."""
+    if isinstance(value, bytes):
+        return {_BYTES_KEY: value.hex()}
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical JSON requires string keys, got {type(key).__name__}"
+                )
+            if key == _BYTES_KEY:
+                raise ValueError(
+                    f"the key {_BYTES_KEY!r} is reserved for binary payloads"
+                )
+            encoded[key] = _encode(item)
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        # Floats are allowed but NaN/inf would break JSON round-tripping.
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError("NaN and infinite floats are not canonically serializable")
+        return value
+    raise TypeError(f"type {type(value).__name__} is not canonically serializable")
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode`: restore bytes wrappers."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_KEY}:
+            return bytes.fromhex(value[_BYTES_KEY])
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string.
+
+    The output is deterministic: keys sorted, separators fixed, bytes encoded
+    as hex wrappers.  Two structurally-equal values always serialize to the
+    same string, which makes the result safe to hash or sign.
+    """
+    return json.dumps(
+        _encode(value), sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def canonical_json_bytes(value: Any) -> bytes:
+    """Serialize ``value`` canonically and return UTF-8 bytes (hash input)."""
+    return canonical_json(value).encode("utf-8")
+
+
+def from_canonical_json(text: str | bytes) -> Any:
+    """Parse a canonical JSON document, restoring binary payloads."""
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    return _decode(json.loads(text))

@@ -1,0 +1,152 @@
+"""Tests for chain assembly, mining, events, and verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.consensus import ProofOfAuthority
+from repro.errors import ChainError, InvalidBlockError
+from tests.conftest import make_funded_wallet
+
+
+class TestGenesis:
+    def test_genesis_exists(self, chain):
+        assert chain.height == 0
+        assert chain.blocks[0].transactions == []
+
+    def test_genesis_alloc(self, rng):
+        consensus = ProofOfAuthority.with_generated_validators(1, rng)
+        chain = Blockchain(consensus,
+                           genesis_alloc={"0x" + "ab" * 20: 500})
+        assert chain.state.balance_of("0x" + "ab" * 20) == 500
+
+
+class TestMining:
+    def test_empty_block(self, chain):
+        block = chain.mine_block()
+        assert block.header.number == 1
+        assert block.transactions == []
+
+    def test_timestamps_monotone(self, chain):
+        chain.mine_block(10.0)
+        with pytest.raises(InvalidBlockError):
+            chain.mine_block(5.0)
+            chain.verify_chain()
+
+    def test_transactions_included(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 5)
+        block = chain.mine_block()
+        assert len(block.transactions) == 1
+
+    def test_block_gas_limit_defers_transactions(self, rng):
+        consensus = ProofOfAuthority.with_generated_validators(1, rng)
+        chain = Blockchain(consensus, block_gas_limit=2_100_000)
+        wallet = make_funded_wallet(chain, rng)
+        for _ in range(3):  # each tx reserves the 2M default gas limit
+            wallet.transfer("0x" + "11" * 20, 1)
+        first = chain.mine_block()
+        assert len(first.transactions) == 1
+        assert len(chain.pending) == 2
+        second = chain.mine_block()
+        assert len(second.transactions) == 1
+
+    def test_rejected_tx_gets_failed_receipt(self, chain, rng):
+        poor = Wallet.generate(chain, rng, "poor")
+        chain.state.credit(poor.address, 10)  # can't afford gas
+        tx_hash = poor.transfer("0x" + "11" * 20, 1)
+        chain.mine_block()
+        receipt = chain.receipt_for(tx_hash)
+        assert not receipt.status
+        assert "rejected" in receipt.error
+
+
+class TestReceiptsAndEvents:
+    def test_missing_receipt_raises(self, chain):
+        with pytest.raises(ChainError):
+            chain.receipt_for(b"\x00" * 32)
+
+    def test_events_filter_by_name(self, chain, funded_wallet):
+        address = funded_wallet.deploy_and_mine("erc20", initial_supply=10)
+        funded_wallet.call_and_mine(address, "approve",
+                                    spender="0x" + "22" * 20, amount=5)
+        names = {log.name for _, log in chain.events(address=address)}
+        assert "Transfer" in names and "Approval" in names
+        only_approvals = list(chain.events(name="Approval", address=address))
+        assert len(only_approvals) == 1
+
+    def test_events_filter_by_block(self, chain, funded_wallet):
+        address = funded_wallet.deploy_and_mine("erc20", initial_supply=10)
+        height_after_deploy = chain.height
+        funded_wallet.call_and_mine(address, "transfer",
+                                    recipient="0x" + "22" * 20, amount=1)
+        recent = list(chain.events(since_block=height_after_deploy + 1))
+        assert all(number > height_after_deploy for number, _ in recent)
+        assert len(recent) == 1
+
+
+class TestVerification:
+    def test_fresh_chain_verifies(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 5)
+        chain.mine_block()
+        chain.mine_block()
+        chain.verify_chain()
+
+    def test_tampered_body_detected(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 5)
+        chain.mine_block()
+        chain.blocks[1].transactions.clear()
+        with pytest.raises(InvalidBlockError):
+            chain.verify_chain()
+
+    def test_tampered_header_detected(self, chain):
+        chain.mine_block()
+        chain.blocks[1].header.gas_used += 1
+        with pytest.raises(InvalidBlockError):
+            chain.verify_chain()
+
+    def test_broken_parent_link_detected(self, chain):
+        chain.mine_block()
+        chain.mine_block()
+        chain.blocks[2].header.parent_hash = b"\x00" * 32
+        with pytest.raises(InvalidBlockError):
+            chain.verify_chain()
+
+    def test_tx_root_matches_body(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 5)
+        block = chain.mine_block()
+        assert block.header.tx_root == Block.compute_tx_root(
+            block.transactions
+        )
+
+
+class TestWallet:
+    def test_nonce_tracking_across_blocks(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 1)
+        chain.mine_block()
+        funded_wallet.transfer("0x" + "11" * 20, 2)
+        chain.mine_block()
+        assert chain.state.balance_of("0x" + "11" * 20) == 3
+
+    def test_multiple_pending_from_same_wallet(self, chain, funded_wallet):
+        funded_wallet.transfer("0x" + "11" * 20, 1)
+        funded_wallet.transfer("0x" + "11" * 20, 2)
+        funded_wallet.transfer("0x" + "11" * 20, 3)
+        chain.mine_block()
+        assert chain.state.balance_of("0x" + "11" * 20) == 6
+
+    def test_deployed_address_requires_success(self, chain, funded_wallet):
+        tx_hash = funded_wallet.deploy("nonexistent-contract")
+        chain.mine_block()
+        from repro.errors import InvalidTransactionError
+
+        with pytest.raises(InvalidTransactionError):
+            funded_wallet.deployed_address(tx_hash)
+
+    def test_view_is_free(self, chain, funded_wallet):
+        address = funded_wallet.deploy_and_mine("erc20", initial_supply=10)
+        balance_before = funded_wallet.balance
+        for _ in range(5):
+            funded_wallet.view(address, "total_supply")
+        assert funded_wallet.balance == balance_before

@@ -1,0 +1,163 @@
+"""Tests for the ERC-20 token contract."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.contract import default_registry
+from tests.conftest import make_funded_wallet
+
+
+@pytest.fixture
+def setup(chain, rng):
+    alice = make_funded_wallet(chain, rng, "alice")
+    bob = make_funded_wallet(chain, rng, "bob")
+    token = alice.deploy_and_mine("erc20", name="Test", symbol="TST",
+                                  decimals=2, initial_supply=1_000)
+    return chain, alice, bob, token
+
+
+class TestMetadata:
+    def test_metadata_views(self, setup):
+        _, alice, _, token = setup
+        assert alice.view(token, "name") == "Test"
+        assert alice.view(token, "symbol") == "TST"
+        assert alice.view(token, "decimals") == 2
+
+    def test_initial_supply_to_deployer(self, setup):
+        _, alice, _, token = setup
+        assert alice.view(token, "balance_of", owner=alice.address) == 1_000
+        assert alice.view(token, "total_supply") == 1_000
+
+
+class TestTransfer:
+    def test_transfer_moves_tokens(self, setup):
+        _, alice, bob, token = setup
+        alice.call_and_mine(token, "transfer", recipient=bob.address,
+                            amount=250)
+        assert alice.view(token, "balance_of", owner=alice.address) == 750
+        assert alice.view(token, "balance_of", owner=bob.address) == 250
+
+    def test_insufficient_balance_reverts(self, setup):
+        _, alice, bob, token = setup
+        receipt = bob.call_and_mine(token, "transfer",
+                                    recipient=alice.address, amount=1)
+        assert not receipt.status
+        assert "insufficient token balance" in receipt.error
+
+    def test_negative_amount_reverts(self, setup):
+        _, alice, bob, token = setup
+        receipt = alice.call_and_mine(token, "transfer",
+                                      recipient=bob.address, amount=-5)
+        assert not receipt.status
+
+    def test_transfer_emits_event(self, setup):
+        chain, alice, bob, token = setup
+        alice.call_and_mine(token, "transfer", recipient=bob.address,
+                            amount=10)
+        events = [log for _, log in chain.events(name="Transfer",
+                                                 address=token)]
+        assert any(
+            e.data["recipient"] == bob.address and e.data["amount"] == 10
+            for e in events
+        )
+
+    def test_supply_conserved(self, setup):
+        _, alice, bob, token = setup
+        alice.call_and_mine(token, "transfer", recipient=bob.address,
+                            amount=123)
+        total = (alice.view(token, "balance_of", owner=alice.address)
+                 + alice.view(token, "balance_of", owner=bob.address))
+        assert total == alice.view(token, "total_supply")
+
+
+class TestAllowances:
+    def test_approve_and_transfer_from(self, setup):
+        _, alice, bob, token = setup
+        alice.call_and_mine(token, "approve", spender=bob.address, amount=100)
+        assert alice.view(token, "allowance", owner=alice.address,
+                          spender=bob.address) == 100
+        bob.call_and_mine(token, "transfer_from", owner=alice.address,
+                          recipient=bob.address, amount=60)
+        assert alice.view(token, "allowance", owner=alice.address,
+                          spender=bob.address) == 40
+        assert alice.view(token, "balance_of", owner=bob.address) == 60
+
+    def test_allowance_exceeded_reverts(self, setup):
+        _, alice, bob, token = setup
+        alice.call_and_mine(token, "approve", spender=bob.address, amount=10)
+        receipt = bob.call_and_mine(token, "transfer_from",
+                                    owner=alice.address,
+                                    recipient=bob.address, amount=11)
+        assert not receipt.status
+        assert "allowance exceeded" in receipt.error
+
+    def test_no_allowance_reverts(self, setup):
+        _, alice, bob, token = setup
+        receipt = bob.call_and_mine(token, "transfer_from",
+                                    owner=alice.address,
+                                    recipient=bob.address, amount=1)
+        assert not receipt.status
+
+
+class TestMintBurn:
+    def test_minter_can_mint(self, setup):
+        _, alice, bob, token = setup
+        alice.call_and_mine(token, "mint", recipient=bob.address, amount=500)
+        assert alice.view(token, "total_supply") == 1_500
+        assert alice.view(token, "balance_of", owner=bob.address) == 500
+
+    def test_non_minter_cannot_mint(self, setup):
+        _, alice, bob, token = setup
+        receipt = bob.call_and_mine(token, "mint", recipient=bob.address,
+                                    amount=500)
+        assert not receipt.status
+        assert "only the minter" in receipt.error
+
+    def test_burn_reduces_supply(self, setup):
+        _, alice, _, token = setup
+        alice.call_and_mine(token, "burn", amount=100)
+        assert alice.view(token, "total_supply") == 900
+        assert alice.view(token, "balance_of", owner=alice.address) == 900
+
+    def test_burn_exceeding_balance_reverts(self, setup):
+        _, alice, _, token = setup
+        receipt = alice.call_and_mine(token, "burn", amount=10_000)
+        assert not receipt.status
+
+    def test_custom_minter(self, chain, rng):
+        alice = make_funded_wallet(chain, rng, "alice")
+        bob = make_funded_wallet(chain, rng, "bob")
+        token = alice.deploy_and_mine("erc20", minter=bob.address)
+        receipt = bob.call_and_mine(token, "mint", recipient=bob.address,
+                                    amount=5)
+        assert receipt.status
+
+
+class TestSupplyInvariant:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2),
+                              st.integers(0, 400)),
+                    min_size=1, max_size=12))
+    def test_random_transfers_conserve_supply(self, transfers):
+        rng = np.random.default_rng(42)
+        consensus = ProofOfAuthority.with_generated_validators(1, rng)
+        chain = Blockchain(consensus, registry=default_registry())
+        wallets = [make_funded_wallet(chain, rng, f"w{i}") for i in range(3)]
+        token = wallets[0].deploy_and_mine("erc20", initial_supply=1_000)
+        for src, dst, amount in transfers:
+            wallets[src].call_and_mine(
+                token, "transfer", recipient=wallets[dst].address,
+                amount=amount,
+            )
+        balances = sum(
+            wallets[0].view(token, "balance_of", owner=w.address)
+            for w in wallets
+        )
+        assert balances == wallets[0].view(token, "total_supply") == 1_000

@@ -1,0 +1,130 @@
+"""Tests for the ERC-721 deed contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_funded_wallet
+
+ZERO = "0x" + "0" * 40
+
+
+@pytest.fixture
+def setup(chain, rng):
+    alice = make_funded_wallet(chain, rng, "alice")
+    bob = make_funded_wallet(chain, rng, "bob")
+    carol = make_funded_wallet(chain, rng, "carol")
+    token = alice.deploy_and_mine("erc721", name="Deeds", symbol="DD")
+    return chain, alice, bob, carol, token
+
+
+class TestMinting:
+    def test_mint_assigns_owner_and_ids(self, setup):
+        _, alice, bob, _, token = setup
+        r0 = alice.call_and_mine(token, "mint", recipient=alice.address)
+        r1 = alice.call_and_mine(token, "mint", recipient=bob.address)
+        assert (r0.return_value, r1.return_value) == (0, 1)
+        assert alice.view(token, "owner_of", token_id=0) == alice.address
+        assert alice.view(token, "owner_of", token_id=1) == bob.address
+        assert alice.view(token, "balance_of", owner=bob.address) == 1
+
+    def test_metadata_stored(self, setup):
+        _, alice, _, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address,
+                            uri="pds2://dataset/x", content_hash="ab" * 32)
+        assert alice.view(token, "token_uri", token_id=0) == "pds2://dataset/x"
+        assert alice.view(token, "content_hash", token_id=0) == "ab" * 32
+
+    def test_non_minter_cannot_mint(self, setup):
+        _, _, bob, _, token = setup
+        receipt = bob.call_and_mine(token, "mint", recipient=bob.address)
+        assert not receipt.status
+
+    def test_nonexistent_token_reverts(self, setup):
+        _, alice, _, _, token = setup
+        receipt = alice.call_and_mine(token, "approve",
+                                      approved=alice.address, token_id=99)
+        assert not receipt.status
+
+
+class TestTransfers:
+    def test_owner_transfer(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        alice.call_and_mine(token, "transfer_from", sender=alice.address,
+                            recipient=bob.address, token_id=0)
+        assert alice.view(token, "owner_of", token_id=0) == bob.address
+        assert alice.view(token, "balance_of", owner=alice.address) == 0
+
+    def test_unauthorized_transfer_reverts(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        receipt = bob.call_and_mine(token, "transfer_from",
+                                    sender=alice.address,
+                                    recipient=bob.address, token_id=0)
+        assert not receipt.status
+
+    def test_approved_transfer(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        alice.call_and_mine(token, "approve", approved=bob.address,
+                            token_id=0)
+        assert alice.view(token, "get_approved", token_id=0) == bob.address
+        receipt = bob.call_and_mine(token, "transfer_from",
+                                    sender=alice.address,
+                                    recipient=bob.address, token_id=0)
+        assert receipt.status
+
+    def test_approval_cleared_after_transfer(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        alice.call_and_mine(token, "approve", approved=bob.address,
+                            token_id=0)
+        bob.call_and_mine(token, "transfer_from", sender=alice.address,
+                          recipient=bob.address, token_id=0)
+        assert alice.view(token, "get_approved", token_id=0) == ZERO
+
+    def test_operator_transfer(self, setup):
+        _, alice, bob, carol, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        alice.call_and_mine(token, "set_approval_for_all",
+                            operator=carol.address, approved=True)
+        assert alice.view(token, "is_approved_for_all", owner=alice.address,
+                          operator=carol.address)
+        receipt = carol.call_and_mine(token, "transfer_from",
+                                      sender=alice.address,
+                                      recipient=bob.address, token_id=0)
+        assert receipt.status
+
+    def test_transfer_to_zero_reverts(self, setup):
+        _, alice, _, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        receipt = alice.call_and_mine(token, "transfer_from",
+                                      sender=alice.address, recipient=ZERO,
+                                      token_id=0)
+        assert not receipt.status
+
+    def test_wrong_sender_reverts(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        receipt = alice.call_and_mine(token, "transfer_from",
+                                      sender=bob.address,
+                                      recipient=alice.address, token_id=0)
+        assert not receipt.status
+
+
+class TestBurn:
+    def test_owner_burn(self, setup):
+        _, alice, _, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        alice.call_and_mine(token, "burn", token_id=0)
+        receipt = alice.call_and_mine(token, "approve",
+                                      approved=alice.address, token_id=0)
+        assert not receipt.status  # token gone
+        assert alice.view(token, "balance_of", owner=alice.address) == 0
+
+    def test_unauthorized_burn_reverts(self, setup):
+        _, alice, bob, _, token = setup
+        alice.call_and_mine(token, "mint", recipient=alice.address)
+        receipt = bob.call_and_mine(token, "burn", token_id=0)
+        assert not receipt.status

@@ -1,0 +1,123 @@
+"""Property tests for chain-wide invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.contract import default_registry
+from repro.governance import register_governance_contracts
+from tests.conftest import make_funded_wallet
+
+
+def build_chain(seed: int):
+    rng = np.random.default_rng(seed)
+    registry = default_registry()
+    register_governance_contracts(registry)
+    consensus = ProofOfAuthority.with_generated_validators(2, rng)
+    chain = Blockchain(consensus, registry=registry)
+    wallets = [make_funded_wallet(chain, rng, f"w{i}") for i in range(3)]
+    return chain, wallets
+
+
+class TestCurrencyConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2),
+                  st.integers(0, 10**6)),
+        min_size=1, max_size=10,
+    ))
+    def test_random_transfers_conserve_total(self, transfers):
+        chain, wallets = build_chain(1)
+        initial_total = sum(chain.state.balances.values())
+        for src, dst, amount in transfers:
+            wallets[src].transfer(wallets[dst].address, amount)
+            chain.mine_block()
+        # Gas moves value to validators; nothing is minted or burned.
+        assert sum(chain.state.balances.values()) == initial_total
+
+    def test_workload_lifecycle_conserves_total(self):
+        chain, wallets = build_chain(2)
+        consumer, executor, provider = wallets
+        initial_total = sum(chain.state.balances.values())
+        workload = consumer.deploy_and_mine(
+            "workload", value=75_000, spec_hash="11" * 32,
+            code_measurement="22" * 32, min_providers=1, min_samples=5,
+            required_confirmations=1,
+        )
+        executor.call_and_mine(workload, "register_executor",
+                               claimed_measurement="22" * 32)
+        executor.call_and_mine(workload, "submit_participation",
+                               provider=provider.address,
+                               certificate_hash="c1", data_root="d1",
+                               item_count=10)
+        consumer.call_and_mine(workload, "start_execution")
+        executor.call_and_mine(
+            workload, "submit_result", result_hash="rr" * 16,
+            provider_weights_bps={provider.address: 10_000},
+        )
+        assert consumer.view(workload, "state") == "complete"
+        assert sum(chain.state.balances.values()) == initial_total
+
+    def test_reverted_calls_conserve_total(self):
+        chain, wallets = build_chain(3)
+        initial_total = sum(chain.state.balances.values())
+        token = wallets[0].deploy_and_mine("erc20", initial_supply=100)
+        # A reverting call: transferring more than the balance.
+        receipt = wallets[1].call_and_mine(
+            token, "transfer", recipient=wallets[0].address, amount=999,
+        )
+        assert not receipt.status
+        assert sum(chain.state.balances.values()) == initial_total
+
+
+class TestOnChainPayoutConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 4), st.data())
+    def test_random_weights_pay_exactly_the_escrow(self, providers, data):
+        chain, wallets = build_chain(4)
+        consumer, executor, _ = wallets
+        provider_addresses = [
+            f"0x{i:040x}" for i in range(1, providers + 1)
+        ]
+        # Random bps weights summing to exactly 10000.
+        cuts = sorted(
+            data.draw(st.lists(st.integers(0, 10_000),
+                               min_size=providers - 1,
+                               max_size=providers - 1))
+        )
+        bounds = [0] + cuts + [10_000]
+        weights = {
+            address: bounds[i + 1] - bounds[i]
+            for i, address in enumerate(provider_addresses)
+        }
+        pool = data.draw(st.integers(1, 999_983))
+        workload = consumer.deploy_and_mine(
+            "workload", value=pool, spec_hash="11" * 32,
+            code_measurement="22" * 32, min_providers=1, min_samples=1,
+            infra_share_bps=data.draw(st.integers(0, 5000)),
+            required_confirmations=1,
+        )
+        executor.call_and_mine(workload, "register_executor",
+                               claimed_measurement="22" * 32)
+        for index, address in enumerate(provider_addresses):
+            executor.call_and_mine(
+                workload, "submit_participation", provider=address,
+                certificate_hash=f"c{index}", data_root="d1", item_count=5,
+            )
+        consumer.call_and_mine(workload, "start_execution")
+        receipt = executor.call_and_mine(
+            workload, "submit_result", result_hash="rr" * 16,
+            provider_weights_bps=weights,
+        )
+        assert receipt.status, receipt.error
+        paid = sum(
+            int(log.data["amount"])
+            for _, log in chain.events(name="RewardPaid", address=workload)
+        )
+        assert paid == pool
+        assert chain.state.balance_of(workload) == 0

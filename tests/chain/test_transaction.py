@@ -1,0 +1,111 @@
+"""Tests for transaction construction, signing and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import CREATE, Transaction
+from repro.crypto.ecdsa import PrivateKey
+from repro.errors import InvalidTransactionError
+
+
+@pytest.fixture
+def key(rng):
+    return PrivateKey.generate(rng)
+
+
+def build_tx(key, **overrides):
+    defaults = dict(
+        sender=key.address, nonce=0, to="0x" + "11" * 20, value=100,
+        payload={},
+    )
+    defaults.update(overrides)
+    return Transaction(**defaults)
+
+
+class TestShape:
+    def test_valid_transaction(self, key):
+        build_tx(key).validate_shape()
+
+    def test_deploy_target(self, key):
+        build_tx(key, to=CREATE,
+                 payload={"contract": "erc20", "args": {}}).validate_shape()
+
+    def test_bad_sender_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, sender="not-an-address").validate_shape()
+
+    def test_bad_target_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, to="0x123").validate_shape()
+
+    def test_negative_nonce_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, nonce=-1).validate_shape()
+
+    def test_negative_value_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, value=-5).validate_shape()
+
+    def test_zero_gas_limit_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, gas_limit=0).validate_shape()
+
+    def test_non_dict_payload_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key, payload="raw").validate_shape()
+
+
+class TestSigning:
+    def test_sign_and_verify(self, key):
+        tx = build_tx(key).sign(key)
+        tx.verify_signature()
+
+    def test_unsigned_rejected(self, key):
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key).verify_signature()
+
+    def test_wrong_key_rejected(self, key, rng):
+        other = PrivateKey.generate(rng)
+        with pytest.raises(InvalidTransactionError):
+            build_tx(key).sign(other)
+
+    def test_tampered_payload_detected(self, key):
+        tx = build_tx(key).sign(key)
+        tx.value = 999_999
+        with pytest.raises(InvalidTransactionError):
+            tx.verify_signature()
+
+    def test_key_address_mismatch_detected(self, key, rng):
+        tx = build_tx(key).sign(key)
+        tx.public_key = PrivateKey.generate(rng).public_key
+        with pytest.raises(InvalidTransactionError):
+            tx.verify_signature()
+
+
+class TestHashing:
+    def test_hash_stable(self, key):
+        assert build_tx(key).tx_hash == build_tx(key).tx_hash
+
+    def test_hash_covers_fields(self, key):
+        assert build_tx(key).tx_hash != build_tx(key, value=101).tx_hash
+
+    def test_hash_excludes_signature(self, key):
+        unsigned_hash = build_tx(key).tx_hash
+        assert build_tx(key).sign(key).tx_hash == unsigned_hash
+
+
+class TestIntrinsicGas:
+    def test_base_cost(self, key):
+        assert build_tx(key).intrinsic_gas >= 21_000
+
+    def test_payload_costs_extra(self, key):
+        small = build_tx(key, payload={"method": "a", "args": {}})
+        big = build_tx(key, payload={"method": "a" * 100, "args": {}})
+        assert big.intrinsic_gas > small.intrinsic_gas
+
+    def test_create_costs_extra(self, key):
+        call = build_tx(key, payload={"contract": "x", "args": {}})
+        deploy = build_tx(key, to=CREATE,
+                          payload={"contract": "x", "args": {}})
+        assert deploy.intrinsic_gas > call.intrinsic_gas

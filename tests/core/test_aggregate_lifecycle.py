@@ -1,0 +1,118 @@
+"""Integration: aggregate workloads through the full on-chain lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Marketplace
+from repro.core.aggregates import (
+    AggregateKind,
+    AggregateSpec,
+    combine_aggregate_outputs,
+)
+from repro.errors import MatchingError, WorkloadSpecError
+from repro.ml.datasets import make_iot_activity, split_dirichlet
+from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+
+
+@pytest.fixture(scope="module")
+def market_setup():
+    rng = np.random.default_rng(31)
+    data = make_iot_activity(600, rng)
+    parts = split_dirichlet(data, 4, 1.0, rng, min_samples=10)
+    market = Marketplace(seed=9)
+    for index, part in enumerate(parts):
+        market.add_provider(f"u{index}", part,
+                            SemanticAnnotation("heart_rate", {}))
+    consumer = market.add_consumer("c")
+    market.add_executor("e0")
+    market.add_executor("e1")
+    return market, consumer, data
+
+
+class TestAggregateLifecycle:
+    def test_exact_mean_through_chain(self, market_setup):
+        market, consumer, data = market_setup
+        spec = AggregateSpec(AggregateKind.MEAN, field_index=3)
+        result, audit, address = market.run_aggregate_workload(
+            consumer, "agg-mean", ConceptRequirement("physiological"),
+            spec, reward_pool=50_000, min_providers=3, min_samples=100,
+            required_confirmations=2,
+        )
+        assert result.statistic == pytest.approx(
+            float(data.features[:, 3].mean()), abs=1e-9
+        )
+        assert result.total_samples == 600
+        assert audit.clean, audit.violations
+        assert audit.total_paid == 50_000
+
+    def test_count_and_histogram(self, market_setup):
+        market, consumer, data = market_setup
+        count_result, audit, _ = market.run_aggregate_workload(
+            consumer, "agg-count", ConceptRequirement("physiological"),
+            AggregateSpec(AggregateKind.COUNT, field_index=0),
+            reward_pool=10_000,
+        )
+        assert count_result.statistic == 600
+        assert audit.clean
+        hist_result, audit2, _ = market.run_aggregate_workload(
+            consumer, "agg-hist", ConceptRequirement("physiological"),
+            AggregateSpec(AggregateKind.HISTOGRAM, field_index=0,
+                          bin_edges=(-5.0, 0.0, 5.0)),
+            reward_pool=10_000,
+        )
+        assert sum(hist_result.statistic) == 600
+        assert audit2.clean
+
+    def test_dp_aggregate_differs_from_exact(self, market_setup):
+        market, consumer, data = market_setup
+        spec = AggregateSpec(AggregateKind.MEAN, field_index=3,
+                             dp_epsilon=2.0, sensitivity=0.01)
+        result, audit, _ = market.run_aggregate_workload(
+            consumer, "agg-dp", ConceptRequirement("physiological"),
+            spec, reward_pool=10_000,
+        )
+        exact = float(data.features[:, 3].mean())
+        assert result.statistic != pytest.approx(exact, abs=1e-12)
+        assert abs(result.statistic - exact) < 0.5
+        assert audit.clean
+
+    def test_no_matching_providers(self, market_setup):
+        market, consumer, data = market_setup
+        with pytest.raises(MatchingError):
+            market.run_aggregate_workload(
+                consumer, "agg-none", ConceptRequirement("motion"),
+                AggregateSpec(AggregateKind.MEAN, field_index=0),
+            )
+
+
+class TestCombine:
+    def test_sum_adds(self):
+        outputs = [
+            {"statistic": 10.0, "total_samples": 5},
+            {"statistic": 32.0, "total_samples": 8},
+        ]
+        assert combine_aggregate_outputs(AggregateKind.SUM, outputs) == 42.0
+
+    def test_mean_weighted(self):
+        outputs = [
+            {"statistic": 1.0, "total_samples": 30},
+            {"statistic": 5.0, "total_samples": 10},
+        ]
+        assert combine_aggregate_outputs(
+            AggregateKind.MEAN, outputs
+        ) == pytest.approx(2.0)
+
+    def test_histogram_binwise(self):
+        outputs = [
+            {"statistic": [1.0, 2.0], "total_samples": 3},
+            {"statistic": [4.0, 5.0], "total_samples": 9},
+        ]
+        assert combine_aggregate_outputs(
+            AggregateKind.HISTOGRAM, outputs
+        ) == [5.0, 7.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadSpecError):
+            combine_aggregate_outputs(AggregateKind.MEAN, [])

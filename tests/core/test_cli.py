@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["info"], ["experiments"],
+                     ["quickstart", "--providers", "4"],
+                     ["aggregate", "--kind", "sum"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_bad_aggregate_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["aggregate", "--kind", "median"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro.core" in output
+        assert "ICDE 2021" in output
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "E17" in output
+        assert "bench_e5_gossip_vs_federated.py" in output
+
+    def test_aggregate_mean(self, capsys):
+        assert main(["aggregate", "--kind", "mean", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "statistic:" in output
+
+    def test_aggregate_with_dp(self, capsys):
+        assert main(["aggregate", "--kind", "mean", "--dp-epsilon", "1.0",
+                     "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "epsilon = 1.0" in output
+
+    def test_quickstart_small(self, capsys):
+        code = main(["quickstart", "--providers", "4", "--executors", "1",
+                     "--seed", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "audit clean: True" in output

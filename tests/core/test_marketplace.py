@@ -1,0 +1,190 @@
+"""End-to-end integration tests for the full Fig. 2 marketplace lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Marketplace,
+    ModelSpec,
+    RewardScheme,
+    TrainingSpec,
+    WorkloadSpec,
+    minimum_reward_policy,
+)
+from repro.errors import MatchingError
+from repro.ml.datasets import make_iot_activity, split_dirichlet, train_test_split
+from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+
+
+@pytest.fixture(scope="module")
+def market_setup():
+    """One marketplace with 6 providers, a consumer, and 2 executors."""
+    rng = np.random.default_rng(100)
+    data = make_iot_activity(1200, rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, 6, alpha=1.0, rng=rng, min_samples=20)
+
+    market = Marketplace(seed=7)
+    providers = []
+    for index, part in enumerate(parts):
+        annotation = SemanticAnnotation("heart_rate", {"rate_hz": 1.0})
+        providers.append(
+            market.add_provider(f"user{index}", part, annotation)
+        )
+    consumer = market.add_consumer("medlab", validation=validation)
+    executors = [market.add_executor(f"exec{i}") for i in range(2)]
+    return market, providers, consumer, executors
+
+
+def har_spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        workload_id="wl-int-1",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=100, learning_rate=0.3, batch_size=32),
+        reward_pool=1_000_000,
+        min_providers=3,
+        min_samples=200,
+        required_confirmations=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestFullLifecycle:
+    @pytest.fixture(scope="class")
+    def report(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        return market.run_workload(consumer, har_spec())
+
+    def test_workload_completes(self, report):
+        assert report.result_hash
+        assert len(report.final_params) == 35  # (6+1)*5 softmax params
+
+    def test_model_is_useful(self, report):
+        assert report.consumer_score is not None
+        assert report.consumer_score > 0.6
+
+    def test_all_matching_providers_participate(self, report, market_setup):
+        market, providers, *_ = market_setup
+        assert len(report.participants) == len(providers)
+
+    def test_rewards_fully_distributed(self, report):
+        assert report.total_paid == report.spec.reward_pool
+
+    def test_providers_paid_by_contribution(self, report, market_setup):
+        market, providers, *_ = market_setup
+        for provider in providers:
+            assert report.payouts.get(provider.address, 0) > 0
+
+    def test_executors_earn_infra_share(self, report, market_setup):
+        market, _, _, executors = market_setup
+        executor_total = sum(
+            report.payouts.get(executor.address, 0)
+            for executor in executors
+        )
+        expected = report.spec.reward_pool * \
+            report.spec.infra_share_bps // 10_000
+        assert executor_total == expected
+
+    def test_weights_sum_to_bps(self, report):
+        assert sum(report.weights_bps.values()) == 10_000
+
+    def test_audit_is_clean(self, report):
+        assert report.audit.clean, report.audit.violations
+        assert report.audit.rewards_conserved
+
+    def test_gas_accounted(self, report):
+        assert report.gas_used > 0
+        assert report.blocks_mined >= 4
+
+
+class TestLifecycleVariants:
+    def test_shapley_rewards(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        report = market.run_workload(consumer, har_spec(
+            workload_id="wl-shapley",
+            reward_scheme=RewardScheme.SHAPLEY,
+            training=TrainingSpec(steps=60, learning_rate=0.3),
+            required_confirmations=1,
+        ))
+        assert report.audit.clean
+        assert sum(report.weights_bps.values()) == 10_000
+
+    def test_dp_training(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        report = market.run_workload(consumer, har_spec(
+            workload_id="wl-dp",
+            dp_epsilon=4.0,
+            training=TrainingSpec(steps=60, learning_rate=0.2),
+            required_confirmations=1,
+        ))
+        assert report.achieved_epsilon is not None
+        assert report.achieved_epsilon <= 4.2
+        assert report.audit.clean
+
+    def test_requirement_filters_providers(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        # No provider annotated motion data, so matching fails.
+        with pytest.raises(MatchingError):
+            market.run_workload(consumer, har_spec(
+                workload_id="wl-nomatch",
+                requirement=ConceptRequirement("motion"),
+            ))
+
+    def test_policy_can_refuse(self, market_setup, rng):
+        market, providers, consumer, executors = market_setup
+        data = make_iot_activity(100, rng)
+        picky = market.add_provider(
+            "picky", data,
+            SemanticAnnotation("heart_rate", {"rate_hz": 1.0}),
+            policy=minimum_reward_policy(10**9),
+        )
+        report = market.run_workload(consumer, har_spec(
+            workload_id="wl-policy",
+        ))
+        assert picky.address not in report.participants
+        market.providers.remove(picky)
+
+    def test_sequential_workloads_on_one_market(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        first = market.run_workload(consumer, har_spec(workload_id="wl-a"))
+        second = market.run_workload(consumer, har_spec(workload_id="wl-b"))
+        assert first.workload_address != second.workload_address
+        assert first.audit.clean and second.audit.clean
+
+    def test_provider_rewards_accumulate(self, market_setup):
+        market, providers, consumer, executors = market_setup
+        before = providers[0].rewards_received
+        market.run_workload(consumer, har_spec(workload_id="wl-acc"))
+        assert providers[0].rewards_received > before
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        def build_and_run(seed):
+            rng = np.random.default_rng(200)
+            data = make_iot_activity(600, rng)
+            train, validation = train_test_split(data, 0.25, rng)
+            parts = split_dirichlet(train, 4, 1.0, rng, min_samples=10)
+            market = Marketplace(seed=seed)
+            for index, part in enumerate(parts):
+                market.add_provider(
+                    f"p{index}", part,
+                    SemanticAnnotation("heart_rate", {}),
+                )
+            consumer = market.add_consumer("c", validation=validation)
+            market.add_executor("e0")
+            spec = har_spec(workload_id="wl-det", min_providers=2,
+                            min_samples=50, required_confirmations=1,
+                            training=TrainingSpec(steps=40,
+                                                  learning_rate=0.3))
+            return market.run_workload(consumer, spec)
+
+        a = build_and_run(9)
+        b = build_and_run(9)
+        assert a.result_hash == b.result_hash
+        assert a.payouts == b.payouts
+        assert a.gas_used == b.gas_used

@@ -1,0 +1,152 @@
+"""Tests for workload specifications and the enclave entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workload import (
+    ModelSpec,
+    RewardScheme,
+    TrainingSpec,
+    WorkloadSpec,
+    deserialize_rows,
+    enclave_entry_point,
+    serialize_partition,
+    serialize_row,
+)
+from repro.errors import WorkloadSpecError
+from repro.ml.datasets import make_iot_activity
+from repro.storage.semantic import ConceptRequirement
+from repro.utils.serialization import canonical_json_bytes
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        workload_id="wl-test",
+        requirement=ConceptRequirement("sensor_data"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=30, learning_rate=0.3),
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestModelSpec:
+    def test_all_families_buildable(self):
+        for family in ("linear", "logistic", "softmax", "mlp"):
+            spec = ModelSpec(family=family, num_features=4, num_classes=3)
+            model = spec.build(seed=1)
+            assert model.num_params > 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(WorkloadSpecError):
+            ModelSpec(family="transformer", num_features=4)
+
+    def test_mlp_build_deterministic(self):
+        spec = ModelSpec(family="mlp", num_features=4, num_classes=2)
+        assert np.array_equal(spec.build(seed=5).params,
+                              spec.build(seed=5).params)
+
+
+class TestWorkloadSpec:
+    def test_spec_hash_stable(self):
+        assert make_spec().spec_hash == make_spec().spec_hash
+
+    def test_spec_hash_covers_fields(self):
+        assert make_spec().spec_hash != make_spec(reward_pool=1).spec_hash
+
+    def test_validation(self):
+        with pytest.raises(WorkloadSpecError):
+            make_spec(reward_pool=-1)
+        with pytest.raises(WorkloadSpecError):
+            make_spec(min_providers=0)
+        with pytest.raises(WorkloadSpecError):
+            make_spec(infra_share_bps=10_000)
+        with pytest.raises(WorkloadSpecError):
+            make_spec(dp_epsilon=0.0)
+
+    def test_to_dict_round_trips_scheme(self):
+        spec = make_spec(reward_scheme=RewardScheme.SHAPLEY)
+        assert spec.to_dict()["reward_scheme"] == "shapley"
+
+
+class TestRowSerialization:
+    def test_row_round_trip(self, rng):
+        data = make_iot_activity(5, rng)
+        rows = serialize_partition(data.features, data.targets)
+        features, targets = deserialize_rows(rows)
+        assert np.allclose(features, data.features)
+        assert np.allclose(targets, data.targets)
+
+    def test_row_bytes_deterministic(self):
+        a = serialize_row(np.array([1.0, 2.0]), 1)
+        b = serialize_row(np.array([1.0, 2.0]), 1)
+        assert a == b
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(WorkloadSpecError):
+            deserialize_rows([])
+
+
+class TestEnclaveEntryPoint:
+    def _inputs_for(self, parts):
+        inputs = {}
+        for index, part in enumerate(parts):
+            payload = canonical_json_bytes([
+                {"x": [float(v) for v in part.features[i]],
+                 "y": float(part.targets[i])}
+                for i in range(len(part))
+            ])
+            inputs[f"provider:0x{index:040x}"] = payload
+        return inputs
+
+    def test_trains_and_reports_counts(self, rng):
+        data = make_iot_activity(120, rng)
+        parts = [data.subset(np.arange(0, 60)),
+                 data.subset(np.arange(60, 120))]
+        spec = make_spec()
+        output = enclave_entry_point(self._inputs_for(parts), spec.to_dict(),
+                                     training_seed=1)
+        assert len(output["params"]) == spec.model.build().num_params
+        assert output["trained_samples"] == 120
+        assert sorted(output["sample_counts"].values()) == [60, 60]
+        assert output["achieved_epsilon"] is None
+
+    def test_deterministic(self, rng):
+        data = make_iot_activity(80, rng)
+        parts = [data.subset(np.arange(0, 40)),
+                 data.subset(np.arange(40, 80))]
+        spec = make_spec()
+        a = enclave_entry_point(self._inputs_for(parts), spec.to_dict(), 7)
+        b = enclave_entry_point(self._inputs_for(parts), spec.to_dict(), 7)
+        assert a["params"] == b["params"]
+
+    def test_no_data_rejected(self):
+        spec = make_spec()
+        with pytest.raises(WorkloadSpecError):
+            enclave_entry_point({}, spec.to_dict(), 1)
+
+    def test_dp_variant_reports_epsilon(self, rng):
+        data = make_iot_activity(150, rng)
+        parts = [data.subset(np.arange(0, 75)),
+                 data.subset(np.arange(75, 150))]
+        spec = make_spec(dp_epsilon=4.0,
+                         training=TrainingSpec(steps=25, learning_rate=0.2))
+        output = enclave_entry_point(self._inputs_for(parts), spec.to_dict(),
+                                     training_seed=1)
+        assert output["achieved_epsilon"] is not None
+        assert output["achieved_epsilon"] <= 4.0 * 1.05
+
+    def test_shapley_variant_reports_fractions(self, rng):
+        data = make_iot_activity(200, rng)
+        parts = [data.subset(np.arange(0, 100)),
+                 data.subset(np.arange(100, 200))]
+        spec = make_spec(reward_scheme=RewardScheme.SHAPLEY,
+                         training=TrainingSpec(steps=40, learning_rate=0.3))
+        output = enclave_entry_point(self._inputs_for(parts), spec.to_dict(),
+                                     training_seed=1)
+        fractions = output["shapley_fractions"]
+        assert len(fractions) == 2
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(f >= 0 for f in fractions.values())

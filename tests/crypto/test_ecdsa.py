@@ -1,0 +1,126 @@
+"""Tests for secp256k1 ECDSA and ECDH."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecdsa import (
+    N,
+    PrivateKey,
+    PublicKey,
+    Signature,
+    shared_secret,
+    verify_with_address,
+)
+from repro.errors import InvalidKeyError, InvalidSignatureError
+
+
+@pytest.fixture
+def key(rng) -> PrivateKey:
+    return PrivateKey.generate(rng)
+
+
+class TestKeys:
+    def test_generate_in_range(self, key):
+        assert 1 <= key.secret < N
+
+    def test_public_key_on_curve(self, key):
+        # PublicKey.__post_init__ validates the curve equation.
+        PublicKey(key.public_key.x, key.public_key.y)
+
+    def test_invalid_scalar_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            PrivateKey(0)
+        with pytest.raises(InvalidKeyError):
+            PrivateKey(N)
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            PublicKey(1, 1)
+
+    def test_from_seed_deterministic(self):
+        assert PrivateKey.from_seed(b"dev-1").secret == \
+            PrivateKey.from_seed(b"dev-1").secret
+
+    def test_from_seed_distinct(self):
+        assert PrivateKey.from_seed(b"a").secret != \
+            PrivateKey.from_seed(b"b").secret
+
+    def test_public_key_serialization_round_trip(self, key):
+        encoded = key.public_key.to_bytes()
+        assert PublicKey.from_bytes(encoded) == key.public_key
+
+    def test_public_key_bad_prefix_rejected(self, key):
+        bad = b"\x05" + key.public_key.to_bytes()[1:]
+        with pytest.raises(InvalidKeyError):
+            PublicKey.from_bytes(bad)
+
+    def test_address_format(self, key):
+        assert key.address.startswith("0x") and len(key.address) == 42
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self, key):
+        signature = key.sign(b"hello world")
+        assert key.public_key.verify(b"hello world", signature)
+
+    def test_wrong_message_fails(self, key):
+        signature = key.sign(b"hello world")
+        assert not key.public_key.verify(b"hello worle", signature)
+
+    def test_wrong_key_fails(self, key, rng):
+        other = PrivateKey.generate(rng)
+        signature = key.sign(b"msg")
+        assert not other.public_key.verify(b"msg", signature)
+
+    def test_deterministic_signatures(self, key):
+        assert key.sign(b"msg") == key.sign(b"msg")
+
+    def test_low_s_enforced(self, key):
+        for message in (b"a", b"b", b"c", b"d"):
+            assert key.sign(message).s <= N // 2
+
+    def test_serialization_round_trip(self, key):
+        signature = key.sign(b"msg")
+        assert Signature.from_bytes(signature.to_bytes()) == signature
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(InvalidSignatureError):
+            Signature.from_bytes(b"\x00" * 10)
+
+    def test_out_of_range_r_rejected(self, key):
+        signature = key.sign(b"msg")
+        forged = Signature(r=0, s=signature.s, v=signature.v)
+        assert not key.public_key.verify(b"msg", forged)
+
+    def test_verify_with_address_binds_key(self, key, rng):
+        signature = key.sign(b"msg")
+        assert verify_with_address(key.address, b"msg", signature,
+                                   key.public_key)
+        other = PrivateKey.generate(rng)
+        assert not verify_with_address(other.address, b"msg", signature,
+                                       key.public_key)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_sign_verify_property(self, message):
+        key = PrivateKey.from_seed(b"property-test")
+        assert key.public_key.verify(message, key.sign(message))
+
+
+class TestECDH:
+    def test_symmetric(self, rng):
+        a = PrivateKey.generate(rng)
+        b = PrivateKey.generate(rng)
+        assert shared_secret(a, b.public_key) == shared_secret(b, a.public_key)
+
+    def test_distinct_pairs_distinct_secrets(self, rng):
+        a, b, c = (PrivateKey.generate(rng) for _ in range(3))
+        assert shared_secret(a, b.public_key) != shared_secret(a, c.public_key)
+
+    def test_secret_is_32_bytes(self, rng):
+        a, b = PrivateKey.generate(rng), PrivateKey.generate(rng)
+        assert len(shared_secret(a, b.public_key)) == 32

@@ -1,0 +1,71 @@
+"""Tests for hashing helpers and address derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.hashing import (
+    address_from_public_key,
+    hash_object,
+    hash_to_int,
+    is_address,
+    keccak256,
+    sha256,
+)
+
+
+class TestDigests:
+    def test_keccak_is_32_bytes(self):
+        assert len(keccak256(b"abc")) == 32
+
+    def test_keccak_deterministic(self):
+        assert keccak256(b"abc") == keccak256(b"abc")
+
+    def test_keccak_differs_by_input(self):
+        assert keccak256(b"abc") != keccak256(b"abd")
+
+    def test_sha256_known_vector(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_hash_object_order_invariant(self):
+        assert hash_object({"a": 1, "b": 2}) == hash_object({"b": 2, "a": 1})
+
+    def test_hash_object_distinguishes_values(self):
+        assert hash_object({"a": 1}) != hash_object({"a": 2})
+
+
+class TestHashToInt:
+    def test_without_modulus(self):
+        value = hash_to_int(b"x")
+        assert value == int.from_bytes(keccak256(b"x"), "big")
+
+    def test_with_modulus(self):
+        assert 0 <= hash_to_int(b"x", 97) < 97
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_int(b"x", 0)
+
+
+class TestAddresses:
+    def test_address_shape(self):
+        address = address_from_public_key(b"\x01" * 64)
+        assert address.startswith("0x")
+        assert len(address) == 42
+
+    def test_is_address_accepts_valid(self):
+        assert is_address(address_from_public_key(b"\x02" * 64))
+
+    def test_is_address_rejects_uppercase(self):
+        assert not is_address("0x" + "AB" * 20)
+
+    def test_is_address_rejects_short(self):
+        assert not is_address("0x1234")
+
+    def test_is_address_rejects_non_hex(self):
+        assert not is_address("0x" + "zz" * 20)
+
+    def test_is_address_rejects_non_string(self):
+        assert not is_address(1234)

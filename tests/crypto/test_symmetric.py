@@ -1,0 +1,100 @@
+"""Tests for authenticated symmetric encryption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    Envelope,
+    KEY_BYTES,
+    decrypt,
+    encrypt,
+    generate_key,
+)
+from repro.errors import DecryptionError
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self, rng):
+        key = generate_key(rng)
+        envelope = encrypt(key, b"hello pds2", rng)
+        assert decrypt(key, envelope) == b"hello pds2"
+
+    def test_empty_plaintext(self, rng):
+        key = generate_key(rng)
+        assert decrypt(key, encrypt(key, b"", rng)) == b""
+
+    def test_large_plaintext(self, rng):
+        key = generate_key(rng)
+        data = bytes(rng.integers(0, 256, 100_000, dtype=np.uint8))
+        assert decrypt(key, encrypt(key, data, rng)) == data
+
+    def test_ciphertext_hides_plaintext(self, rng):
+        key = generate_key(rng)
+        envelope = encrypt(key, b"findme-findme-findme", rng)
+        assert b"findme" not in envelope.ciphertext
+
+    def test_fresh_nonces(self, rng):
+        key = generate_key(rng)
+        a = encrypt(key, b"same", rng)
+        b = encrypt(key, b"same", rng)
+        assert a.nonce != b.nonce
+        assert a.ciphertext != b.ciphertext
+
+    def test_wrong_key_rejected(self, rng):
+        envelope = encrypt(generate_key(rng), b"secret", rng)
+        with pytest.raises(DecryptionError):
+            decrypt(generate_key(rng), envelope)
+
+    def test_tampered_ciphertext_rejected(self, rng):
+        key = generate_key(rng)
+        envelope = encrypt(key, b"secret-data", rng)
+        tampered = Envelope(
+            nonce=envelope.nonce,
+            ciphertext=bytes([envelope.ciphertext[0] ^ 1])
+            + envelope.ciphertext[1:],
+            tag=envelope.tag,
+        )
+        with pytest.raises(DecryptionError):
+            decrypt(key, tampered)
+
+    def test_tampered_tag_rejected(self, rng):
+        key = generate_key(rng)
+        envelope = encrypt(key, b"secret-data", rng)
+        tampered = Envelope(
+            nonce=envelope.nonce,
+            ciphertext=envelope.ciphertext,
+            tag=bytes([envelope.tag[0] ^ 1]) + envelope.tag[1:],
+        )
+        with pytest.raises(DecryptionError):
+            decrypt(key, tampered)
+
+    def test_bad_key_length_rejected(self, rng):
+        with pytest.raises(DecryptionError):
+            encrypt(b"short", b"data", rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_round_trip_property(self, plaintext):
+        rng = np.random.default_rng(1)
+        key = generate_key(rng)
+        assert decrypt(key, encrypt(key, plaintext, rng)) == plaintext
+
+
+class TestEnvelopeWire:
+    def test_round_trip(self, rng):
+        key = generate_key(rng)
+        envelope = encrypt(key, b"data", rng)
+        parsed = Envelope.from_bytes(envelope.to_bytes())
+        assert parsed == envelope
+        assert decrypt(key, parsed) == b"data"
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(DecryptionError):
+            Envelope.from_bytes(b"\x00" * 8)
+
+    def test_key_size_constant(self, rng):
+        assert len(generate_key(rng)) == KEY_BYTES

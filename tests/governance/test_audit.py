@@ -1,0 +1,87 @@
+"""Tests for the trustless audit procedures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuditError
+from repro.governance.audit import audit_workload, require_clean_audit
+from repro.governance.contracts import BPS
+from tests.conftest import make_funded_wallet
+
+
+@pytest.fixture
+def completed_workload(chain, rng):
+    consumer = make_funded_wallet(chain, rng, "consumer")
+    executor = make_funded_wallet(chain, rng, "exec")
+    provider = make_funded_wallet(chain, rng, "prov")
+    workload = consumer.deploy_and_mine(
+        "workload", value=50_000, spec_hash="11" * 32,
+        code_measurement="22" * 32, min_providers=1, min_samples=10,
+        infra_share_bps=1000, required_confirmations=1,
+    )
+    executor.call_and_mine(workload, "register_executor",
+                           claimed_measurement="22" * 32)
+    executor.call_and_mine(workload, "submit_participation",
+                           provider=provider.address, certificate_hash="c1",
+                           data_root="d1", item_count=20)
+    consumer.call_and_mine(workload, "start_execution")
+    executor.call_and_mine(workload, "submit_result", result_hash="rr" * 16,
+                           provider_weights_bps={provider.address: BPS})
+    return chain, consumer, workload
+
+
+class TestCleanAudit:
+    def test_completed_workload_audits_clean(self, completed_workload):
+        chain, consumer, workload = completed_workload
+        report = audit_workload(chain, workload, auditor=consumer.address)
+        assert report.clean
+        assert report.chain_valid
+        assert report.lifecycle_valid
+        assert report.rewards_conserved
+        assert report.total_paid == 50_000
+        assert report.escrow == 50_000
+        assert report.providers_paid == 1
+        assert report.executors_paid == 1
+        assert report.certificates == 1
+
+    def test_require_clean_audit_passes(self, completed_workload):
+        chain, consumer, workload = completed_workload
+        require_clean_audit(chain, workload)
+
+    def test_cancelled_workload_audits_clean(self, chain, rng):
+        consumer = make_funded_wallet(chain, rng, "consumer")
+        workload = consumer.deploy_and_mine(
+            "workload", value=10_000, spec_hash="11" * 32,
+            code_measurement="22" * 32,
+        )
+        consumer.call_and_mine(workload, "cancel")
+        report = audit_workload(chain, workload, auditor=consumer.address)
+        assert report.clean
+        assert report.total_paid == 0
+
+
+class TestTamperDetection:
+    def test_rewritten_history_detected(self, completed_workload):
+        chain, consumer, workload = completed_workload
+        # An attacker rewrites a mined block body.
+        for block in chain.blocks:
+            if block.transactions:
+                block.transactions.pop()
+                break
+        report = audit_workload(chain, workload, auditor=consumer.address)
+        assert not report.chain_valid
+        assert not report.clean
+
+    def test_unknown_address_reported(self, completed_workload):
+        chain, consumer, workload = completed_workload
+        report = audit_workload(chain, "0x" + "77" * 20,
+                                auditor=consumer.address)
+        assert not report.clean
+        assert any("WorkloadCreated" in v for v in report.violations)
+
+    def test_require_clean_audit_raises(self, completed_workload):
+        chain, consumer, workload = completed_workload
+        chain.blocks[1].header.gas_used += 1
+        with pytest.raises(AuditError):
+            require_clean_audit(chain, workload)

@@ -1,0 +1,112 @@
+"""Tests for model-merge strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLError, ModelCompatibilityError
+from repro.ml.merge import (
+    MergeStrategy,
+    TrackedModel,
+    federated_average,
+    merge_into,
+    merge_parameter_vectors,
+)
+from repro.ml.models import LogisticRegressionModel, SoftmaxRegressionModel
+
+
+def tracked(params, age=1, samples=10) -> TrackedModel:
+    model = LogisticRegressionModel(len(params) - 1)
+    model.set_params(np.asarray(params, dtype=float))
+    return TrackedModel(model=model, age=age, samples=samples)
+
+
+class TestVectorMerge:
+    def test_equal_weights_average(self):
+        merged = merge_parameter_vectors(
+            [np.array([0.0, 2.0]), np.array([2.0, 0.0])], [1.0, 1.0]
+        )
+        assert np.allclose(merged, [1.0, 1.0])
+
+    def test_weighted_average(self):
+        merged = merge_parameter_vectors(
+            [np.array([0.0]), np.array([4.0])], [3.0, 1.0]
+        )
+        assert np.allclose(merged, [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MLError):
+            merge_parameter_vectors([], [])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(MLError):
+            merge_parameter_vectors([np.zeros(2)], [0.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=2),
+           st.lists(st.floats(-100, 100), min_size=2, max_size=2),
+           st.floats(0.01, 10), st.floats(0.01, 10))
+    def test_merge_between_inputs(self, a, b, wa, wb):
+        merged = merge_parameter_vectors(
+            [np.array(a), np.array(b)], [wa, wb]
+        )
+        low = np.minimum(a, b) - 1e-9
+        high = np.maximum(a, b) + 1e-9
+        assert np.all(merged >= low) and np.all(merged <= high)
+
+
+class TestMergeInto:
+    def test_average_strategy(self):
+        local = tracked([0.0, 0.0])
+        merge_into(local, np.array([2.0, 4.0]), remote_age=1,
+                   remote_samples=10, strategy=MergeStrategy.AVERAGE)
+        assert np.allclose(local.model.params, [1.0, 2.0])
+
+    def test_sample_weighted_strategy(self):
+        local = tracked([0.0, 0.0], samples=30)
+        merge_into(local, np.array([4.0, 4.0]), remote_age=1,
+                   remote_samples=10,
+                   strategy=MergeStrategy.SAMPLE_WEIGHTED)
+        assert np.allclose(local.model.params, [1.0, 1.0])
+
+    def test_age_weighted_strategy(self):
+        local = tracked([0.0, 0.0], age=1)
+        merge_into(local, np.array([4.0, 4.0]), remote_age=3,
+                   remote_samples=10, strategy=MergeStrategy.AGE_WEIGHTED)
+        assert np.allclose(local.model.params, [3.0, 3.0])
+
+    def test_age_updates_to_max(self):
+        local = tracked([0.0, 0.0], age=2)
+        merge_into(local, np.array([1.0, 1.0]), remote_age=9,
+                   remote_samples=1, strategy=MergeStrategy.AVERAGE)
+        assert local.age == 9
+
+    def test_incompatible_shape_rejected(self):
+        local = tracked([0.0, 0.0])
+        with pytest.raises(ModelCompatibilityError):
+            merge_into(local, np.zeros(5), remote_age=1, remote_samples=1,
+                       strategy=MergeStrategy.AVERAGE)
+
+
+class TestFederatedAverage:
+    def test_weighted_by_samples(self):
+        a = LogisticRegressionModel(1)
+        a.set_params(np.array([0.0, 0.0]))
+        b = LogisticRegressionModel(1)
+        b.set_params(np.array([4.0, 4.0]))
+        merged = federated_average([a, b], [30, 10])
+        assert np.allclose(merged, [1.0, 1.0])
+
+    def test_unlike_models_rejected(self):
+        a = LogisticRegressionModel(3)
+        b = SoftmaxRegressionModel(1, 2)  # same param count, different family
+        assert a.num_params == b.num_params
+        with pytest.raises(ModelCompatibilityError):
+            federated_average([a, b], [1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MLError):
+            federated_average([], [])

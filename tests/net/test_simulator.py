@@ -1,0 +1,154 @@
+"""Tests for the discrete-event simulator and network transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Network, Simulator
+
+
+class Recorder:
+    """A message handler that logs what it receives and when."""
+
+    def __init__(self, simulator: Simulator):
+        self.simulator = simulator
+        self.received: list[tuple[float, str, object]] = []
+
+    def on_message(self, sender: str, message: object) -> None:
+        self.received.append((self.simulator.now, sender, message))
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_run_until_is_partial(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(3.0)
+        assert fired == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_end_time_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_run_to_completion_bounded(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_to_completion(max_events=100)
+
+
+class TestNetwork:
+    @pytest.fixture
+    def net(self):
+        sim = Simulator()
+        network = Network(sim, default_latency_s=0.1)
+        nodes = {name: Recorder(sim) for name in ("a", "b", "c")}
+        for name, node in nodes.items():
+            network.attach(name, node, upload_bytes_per_s=1000.0)
+        return sim, network, nodes
+
+    def test_delivery(self, net):
+        sim, network, nodes = net
+        network.send("a", "b", "hello", size_bytes=0)
+        sim.run_until(1.0)
+        assert nodes["b"].received == [(0.1, "a", "hello")]
+
+    def test_bandwidth_delays_large_messages(self, net):
+        sim, network, nodes = net
+        network.send("a", "b", "big", size_bytes=500)  # 0.5 s at 1 kB/s
+        sim.run_until(1.0)
+        time, _, _ = nodes["b"].received[0]
+        assert time == pytest.approx(0.6)
+
+    def test_link_override(self, net):
+        sim, network, nodes = net
+        network.set_link("a", "c", 0.5)
+        network.send("a", "c", "x", size_bytes=0)
+        sim.run_until(1.0)
+        assert nodes["c"].received[0][0] == pytest.approx(0.5)
+
+    def test_offline_receiver_drops(self, net):
+        sim, network, nodes = net
+        network.set_online("b", False)
+        assert not network.send("a", "b", "x", size_bytes=0)
+        sim.run_until(1.0)
+        assert nodes["b"].received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_offline_sender_drops(self, net):
+        sim, network, nodes = net
+        network.set_online("a", False)
+        assert not network.send("a", "b", "x", size_bytes=0)
+
+    def test_receiver_going_offline_mid_flight_drops(self, net):
+        sim, network, nodes = net
+        network.send("a", "b", "x", size_bytes=0)
+        network.set_online("b", False)
+        sim.run_until(1.0)
+        assert nodes["b"].received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_traffic_accounting(self, net):
+        sim, network, nodes = net
+        network.send("a", "b", "x", size_bytes=100)
+        network.send("b", "c", "y", size_bytes=50)
+        sim.run_until(2.0)
+        assert network.stats.messages_delivered == 2
+        assert network.stats.bytes_delivered == 150
+        assert network.node_state("a").bytes_sent == 100
+        assert network.node_state("b").bytes_received == 100
+        assert network.node_state("b").bytes_sent == 50
+
+    def test_duplicate_attach_rejected(self, net):
+        sim, network, nodes = net
+        with pytest.raises(SimulationError):
+            network.attach("a", nodes["a"])
+
+    def test_unknown_address_rejected(self, net):
+        sim, network, _ = net
+        with pytest.raises(SimulationError):
+            network.send("a", "ghost", "x", size_bytes=0)

@@ -1,0 +1,182 @@
+"""Tests for the ontology, requirement language, and leakage metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.semantic import (
+    AllOf,
+    AnyOf,
+    ConceptRequirement,
+    EqualsRequirement,
+    OneOfRequirement,
+    Ontology,
+    RangeRequirement,
+    Requirement,
+    SemanticAnnotation,
+    annotation_leakage_bits,
+    concept_leakage_bits,
+    generalize_annotation,
+)
+
+
+@pytest.fixture
+def onto() -> Ontology:
+    return Ontology.iot_default()
+
+
+class TestOntology:
+    def test_subsumption_reflexive(self, onto):
+        assert onto.subsumes("temperature", "temperature")
+
+    def test_subsumption_transitive(self, onto):
+        assert onto.subsumes("sensor_data", "temperature")
+        assert onto.subsumes("thing", "temperature")
+
+    def test_non_subsumption(self, onto):
+        assert not onto.subsumes("physiological", "temperature")
+        assert not onto.subsumes("temperature", "environmental")
+
+    def test_unknown_concepts(self, onto):
+        assert not onto.subsumes("unknown", "temperature")
+        assert not onto.subsumes("thing", "unknown")
+
+    def test_add_concept_validation(self, onto):
+        with pytest.raises(StorageError):
+            onto.add_concept("x", "no-such-parent")
+        with pytest.raises(StorageError):
+            onto.add_concept("temperature", "thing")
+
+    def test_leaves_under(self, onto):
+        leaves = onto.leaves_under("environmental")
+        assert leaves == {"temperature", "humidity", "air_quality",
+                          "noise_level"}
+
+    def test_depth(self, onto):
+        assert onto.depth("thing") == 0
+        assert onto.depth("sensor_data") == 1
+        assert onto.depth("temperature") == 3
+
+    def test_ancestors_descendants(self, onto):
+        assert "sensor_data" in onto.ancestors("temperature")
+        assert "temperature" in onto.descendants("environmental")
+
+
+class TestRequirements:
+    def test_concept_requirement(self, onto):
+        req = ConceptRequirement("environmental")
+        assert req.matches(onto, SemanticAnnotation("temperature"))
+        assert not req.matches(onto, SemanticAnnotation("heart_rate"))
+
+    def test_range_requirement(self, onto):
+        req = RangeRequirement("rate_hz", 0.5, 2.0)
+        assert req.matches(onto, SemanticAnnotation("temperature",
+                                                    {"rate_hz": 1.0}))
+        assert not req.matches(onto, SemanticAnnotation("temperature",
+                                                        {"rate_hz": 5.0}))
+        assert not req.matches(onto, SemanticAnnotation("temperature", {}))
+
+    def test_range_rejects_non_numeric(self, onto):
+        req = RangeRequirement("rate_hz", 0.5, 2.0)
+        assert not req.matches(onto, SemanticAnnotation("temperature",
+                                                        {"rate_hz": "fast"}))
+        assert not req.matches(onto, SemanticAnnotation("temperature",
+                                                        {"rate_hz": True}))
+
+    def test_open_ended_ranges(self, onto):
+        low = RangeRequirement("v", minimum=10)
+        high = RangeRequirement("v", maximum=10)
+        ann = SemanticAnnotation("temperature", {"v": 10})
+        assert low.matches(onto, ann) and high.matches(onto, ann)
+
+    def test_equals_requirement(self, onto):
+        req = EqualsRequirement("region", "EU")
+        assert req.matches(onto, SemanticAnnotation("temperature",
+                                                    {"region": "EU"}))
+        assert not req.matches(onto, SemanticAnnotation("temperature",
+                                                        {"region": "US"}))
+
+    def test_one_of_requirement(self, onto):
+        req = OneOfRequirement("region", ("EU", "UK"))
+        assert req.matches(onto, SemanticAnnotation("temperature",
+                                                    {"region": "UK"}))
+        assert not req.matches(onto, SemanticAnnotation("temperature",
+                                                        {"region": "US"}))
+
+    def test_conjunction(self, onto):
+        req = AllOf((ConceptRequirement("environmental"),
+                     EqualsRequirement("region", "EU")))
+        assert req.matches(onto, SemanticAnnotation("humidity",
+                                                    {"region": "EU"}))
+        assert not req.matches(onto, SemanticAnnotation("humidity",
+                                                        {"region": "US"}))
+
+    def test_disjunction(self, onto):
+        req = AnyOf((ConceptRequirement("motion"),
+                     ConceptRequirement("energy")))
+        assert req.matches(onto, SemanticAnnotation("gps_trace"))
+        assert not req.matches(onto, SemanticAnnotation("temperature"))
+
+    def test_complexity_counts_atoms(self):
+        req = AllOf((
+            ConceptRequirement("a"),
+            AnyOf((EqualsRequirement("x", 1), RangeRequirement("y", 0, 1))),
+        ))
+        assert req.complexity() == 3
+
+    def test_serialization_round_trip(self, onto):
+        req = AllOf((
+            ConceptRequirement("environmental"),
+            AnyOf((EqualsRequirement("region", "EU"),
+                   OneOfRequirement("region", ("UK",)))),
+            RangeRequirement("rate_hz", 0.5, None),
+        ))
+        restored = Requirement.from_dict(req.to_dict())
+        ann = SemanticAnnotation("temperature",
+                                 {"region": "EU", "rate_hz": 1.0})
+        assert restored.matches(onto, ann) == req.matches(onto, ann)
+        assert restored.complexity() == req.complexity()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError):
+            Requirement.from_dict({"kind": "telepathy"})
+
+
+class TestLeakage:
+    def test_root_leaks_nothing(self, onto):
+        assert concept_leakage_bits(onto, "thing") == pytest.approx(0.0)
+
+    def test_leaf_leaks_maximum(self, onto):
+        total_leaves = len(onto.leaves_under("thing"))
+        expected = math.log2(total_leaves)
+        assert concept_leakage_bits(onto, "temperature") == \
+            pytest.approx(expected)
+
+    def test_leakage_monotone_with_depth(self, onto):
+        chain = ["thing", "sensor_data", "environmental", "temperature"]
+        bits = [concept_leakage_bits(onto, c) for c in chain]
+        assert bits == sorted(bits)
+        assert bits[0] < bits[-1]
+
+    def test_properties_add_leakage(self, onto):
+        bare = SemanticAnnotation("temperature")
+        rich = SemanticAnnotation("temperature",
+                                  {"rate_hz": 1.0, "region": "EU"})
+        assert annotation_leakage_bits(onto, rich) == \
+            annotation_leakage_bits(onto, bare) + 8.0
+
+    def test_generalization_reduces_leakage(self, onto):
+        ann = SemanticAnnotation("temperature", {"region": "EU"})
+        general = generalize_annotation(onto, ann, levels=2,
+                                        drop_properties=["region"])
+        assert general.concept == "sensor_data"
+        assert annotation_leakage_bits(onto, general) < \
+            annotation_leakage_bits(onto, ann)
+
+    def test_generalization_stops_at_root(self, onto):
+        ann = SemanticAnnotation("temperature")
+        general = generalize_annotation(onto, ann, levels=10)
+        assert general.concept == "thing"
