@@ -12,9 +12,10 @@ from typing import Optional
 
 from repro.chain.transaction import Transaction
 from repro.crypto.ecdsa import PublicKey, Signature
-from repro.crypto.hashing import hash_object
+from repro.crypto.hashing import keccak256
 from repro.crypto.merkle import MerkleTree
 from repro.errors import InvalidBlockError
+from repro.utils.serialization import canonical_json_bytes
 
 
 @dataclass
@@ -31,6 +32,20 @@ class BlockHeader:
     validator_public_key: Optional[PublicKey] = None
     seal: Optional[Signature] = None
 
+    # Fields covered by the seal; assigning any of them invalidates the
+    # canonical-bytes / hash caches (the seal itself is not covered, so
+    # sealing a header does not drop them).
+    _SEALED_FIELDS = frozenset({
+        "number", "parent_hash", "timestamp", "tx_root", "state_root",
+        "validator", "gas_used",
+    })
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._SEALED_FIELDS:
+            self.__dict__.pop("_sealing_bytes_cache", None)
+            self.__dict__.pop("_block_hash_cache", None)
+        object.__setattr__(self, name, value)
+
     def sealing_payload(self) -> dict:
         """Fields covered by the validator's seal signature."""
         return {
@@ -43,10 +58,27 @@ class BlockHeader:
             "gas_used": self.gas_used,
         }
 
+    def sealing_bytes(self) -> bytes:
+        """Canonical bytes the seal signs, computed once per content.
+
+        Both sealing and seal verification (``verify_chain`` replays every
+        header) hash the same payload; the cache makes the serialization
+        once-per-header instead of once-per-check.
+        """
+        cached = self.__dict__.get("_sealing_bytes_cache")
+        if cached is None:
+            cached = canonical_json_bytes(self.sealing_payload())
+            self.__dict__["_sealing_bytes_cache"] = cached
+        return cached
+
     @property
     def block_hash(self) -> bytes:
         """Identifier of the block: hash over the sealed payload."""
-        return hash_object(self.sealing_payload())
+        cached = self.__dict__.get("_block_hash_cache")
+        if cached is None:
+            cached = keccak256(self.sealing_bytes())
+            self.__dict__["_block_hash_cache"] = cached
+        return cached
 
 
 @dataclass

@@ -139,15 +139,16 @@ class Blockchain:
                 self.pending.append(tx)  # leave for the next block
                 continue
             gas_reserved += tx.gas_limit
+            tx_hash = tx.tx_hash
             try:
                 receipt = self.vm.apply_transaction(self.state, block_ctx, tx)
             except ChainError as exc:
-                self._receipts[tx.tx_hash] = Receipt(
-                    tx_hash=tx.tx_hash, status=False, gas_used=0,
+                self._receipts[tx_hash] = Receipt(
+                    tx_hash=tx_hash, status=False, gas_used=0,
                     error=f"rejected: {exc}", block_number=number,
                 )
                 continue
-            self._receipts[tx.tx_hash] = receipt
+            self._receipts[tx_hash] = receipt
             included.append(tx)
             gas_used += receipt.gas_used
         header = BlockHeader(

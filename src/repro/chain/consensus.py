@@ -16,7 +16,6 @@ import numpy as np
 from repro.chain.block import BlockHeader
 from repro.crypto.ecdsa import PrivateKey
 from repro.errors import InvalidBlockError
-from repro.utils.serialization import canonical_json_bytes
 
 
 @dataclass(frozen=True)
@@ -68,9 +67,7 @@ class ProofOfAuthority:
                 f"block {header.number} must be sealed by {proposer.name}"
             )
         header.validator_public_key = proposer.key.public_key
-        header.seal = proposer.key.sign(
-            canonical_json_bytes(header.sealing_payload())
-        )
+        header.seal = proposer.key.sign(header.sealing_bytes())
 
     def verify_seal(self, header: BlockHeader) -> None:
         """Check the header was sealed by the scheduled proposer."""
@@ -83,6 +80,6 @@ class ProofOfAuthority:
             raise InvalidBlockError("block header is unsealed")
         if header.validator_public_key.address != proposer.address:
             raise InvalidBlockError("seal public key does not match proposer")
-        message = canonical_json_bytes(header.sealing_payload())
-        if not header.validator_public_key.verify(message, header.seal):
+        if not header.validator_public_key.verify(header.sealing_bytes(),
+                                                  header.seal):
             raise InvalidBlockError("invalid block seal signature")

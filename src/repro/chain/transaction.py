@@ -13,7 +13,7 @@ from typing import Any, Optional
 
 from repro.chain import gas as gas_schedule
 from repro.crypto.ecdsa import PrivateKey, PublicKey, Signature
-from repro.crypto.hashing import hash_object, is_address
+from repro.crypto.hashing import is_address, keccak256
 from repro.errors import InvalidTransactionError
 from repro.utils.serialization import canonical_json_bytes
 
@@ -50,6 +50,26 @@ class Transaction:
     public_key: Optional[PublicKey] = None
     signature: Optional[Signature] = None
 
+    # Fields covered by the signature; assigning any of them invalidates the
+    # canonical-bytes / hash caches below.
+    _SIGNED_FIELDS = frozenset({
+        "sender", "nonce", "to", "value", "payload", "gas_limit", "gas_price",
+    })
+    _CACHE_SLOTS = ("_signing_bytes_cache", "_tx_hash_cache",
+                    "_payload_bytes_cache")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Canonical serialization used to be recomputed 3-4x per transaction
+        # (sign, submit, hash, gas).  The caches make it once-per-content;
+        # mutating a signed field drops them so a re-signed transaction
+        # hashes correctly.  NOTE: mutate by *assignment* (``tx.payload =
+        # {...}``), not in place — in-place dict mutation is invisible here,
+        # as it is to any cache.
+        if name in self._SIGNED_FIELDS:
+            for slot in self._CACHE_SLOTS:
+                self.__dict__.pop(slot, None)
+        object.__setattr__(self, name, value)
+
     def signing_payload(self) -> dict:
         """The fields covered by the signature (everything but the signature)."""
         return {
@@ -63,19 +83,35 @@ class Transaction:
         }
 
     def signing_bytes(self) -> bytes:
-        """Canonical bytes that are hashed and signed."""
-        return canonical_json_bytes(self.signing_payload())
+        """Canonical bytes that are hashed and signed (computed once)."""
+        cached = self.__dict__.get("_signing_bytes_cache")
+        if cached is None:
+            cached = canonical_json_bytes(self.signing_payload())
+            self.__dict__["_signing_bytes_cache"] = cached
+        return cached
 
     @property
     def tx_hash(self) -> bytes:
-        """The transaction identifier: hash of the signing payload."""
-        return hash_object(self.signing_payload())
+        """The transaction identifier: hash of the signing payload.
+
+        Mempool admission, mining, receipts, and event queries all ask for
+        the hash; it is computed once per content and cached.
+        """
+        cached = self.__dict__.get("_tx_hash_cache")
+        if cached is None:
+            cached = keccak256(self.signing_bytes())
+            self.__dict__["_tx_hash_cache"] = cached
+        return cached
 
     @property
     def intrinsic_gas(self) -> int:
         """Gas charged before any execution: base + calldata (+ create)."""
+        payload_bytes = self.__dict__.get("_payload_bytes_cache")
+        if payload_bytes is None:
+            payload_bytes = canonical_json_bytes(self.payload)
+            self.__dict__["_payload_bytes_cache"] = payload_bytes
         cost = gas_schedule.TX_BASE
-        cost += len(canonical_json_bytes(self.payload)) * gas_schedule.TX_DATA_BYTE
+        cost += len(payload_bytes) * gas_schedule.TX_DATA_BYTE
         if self.to is CREATE:
             cost += gas_schedule.CONTRACT_CREATE
         return cost

@@ -1,0 +1,569 @@
+"""Fast secp256k1 point arithmetic: Jacobian coordinates, wNAF, fixed-base.
+
+This module is the performance engine behind :mod:`repro.crypto.ecdsa`.  The
+textbook affine implementation there performs one modular inversion *per point
+addition* (≈380 inversions per scalar multiplication); this backend works in
+Jacobian projective coordinates ``(X, Y, Z)`` with ``x = X/Z²``, ``y = Y/Z³``
+so a full scalar multiplication needs exactly **one** inversion, at the very
+end.  On top of the coordinate change it layers the three classic
+speed-for-memory trades:
+
+* a **fixed-base window table** for the generator ``G`` (64 windows of 4 bits,
+  960 precomputed affine points): key generation and signing become ~64 mixed
+  additions with no doublings at all;
+* **wNAF** (width-5 non-adjacent form) recoding for variable-point
+  multiplication, cutting additions from ~128 to ~43 per 256-bit scalar;
+* **Shamir's trick** (interleaved dual-scalar multiplication) for the
+  ``u1·G + u2·Q`` inside ECDSA verification: one shared doubling chain instead
+  of two, with a wide (width-7) precomputed wNAF table for the ``G`` side.
+
+All tables are built lazily on first use and normalized to affine with a
+single batched inversion (Montgomery's trick), so importing this module costs
+nothing.  Points at the API boundary are affine ``(x, y)`` tuples or ``None``
+for the point at infinity — the same convention as the affine reference in
+:mod:`repro.crypto.ecdsa`, which is retained there as a differential-testing
+oracle.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+# secp256k1 domain parameters (y^2 = x^3 + 7 over F_p, a = 0).
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+AffinePoint = Optional[tuple[int, int]]
+#: Jacobian point (X, Y, Z); None is the point at infinity.
+JacobianPoint = Optional[tuple[int, int, int]]
+
+# Fixed-base table geometry: 4-bit windows over 256-bit scalars.
+_FB_WINDOW_BITS = 4
+_FB_WINDOWS = 256 // _FB_WINDOW_BITS
+_FB_TABLE_SIZE = (1 << _FB_WINDOW_BITS) - 1  # odd+even digits 1..15
+
+# wNAF widths: wide for the static G table, narrower for per-call points.
+_WNAF_BASE_WIDTH = 7
+_WNAF_POINT_WIDTH = 5
+
+
+def field_inverse(value: int) -> int:
+    """Inverse in F_p (extended Euclid via CPython's ``pow``)."""
+    return pow(value, -1, P)
+
+
+# -- Jacobian primitives -----------------------------------------------------
+
+
+def jacobian_double(point: JacobianPoint) -> JacobianPoint:
+    """Double a Jacobian point on secp256k1 (a = 0 shortcut: M = 3X²)."""
+    if point is None:
+        return None
+    x1, y1, z1 = point
+    if y1 == 0:
+        return None
+    y1_sq = y1 * y1 % P
+    s = 4 * x1 * y1_sq % P
+    m = 3 * x1 * x1 % P
+    x3 = (m * m - 2 * s) % P
+    y3 = (m * (s - x3) - 8 * y1_sq * y1_sq) % P
+    z3 = 2 * y1 * z1 % P
+    return (x3, y3, z3)
+
+
+def jacobian_add(p1: JacobianPoint, p2: JacobianPoint) -> JacobianPoint:
+    """Add two Jacobian points (general case, 16 field multiplications)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    z1_sq = z1 * z1 % P
+    z2_sq = z2 * z2 % P
+    u1 = x1 * z2_sq % P
+    u2 = x2 * z1_sq % P
+    s1 = y1 * z2_sq * z2 % P
+    s2 = y2 * z1_sq * z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return None  # P + (-P)
+        return jacobian_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    h_sq = h * h % P
+    h_cu = h * h_sq % P
+    u1h_sq = u1 * h_sq % P
+    x3 = (r * r - h_cu - 2 * u1h_sq) % P
+    y3 = (r * (u1h_sq - x3) - s1 * h_cu) % P
+    z3 = h * z1 * z2 % P
+    return (x3, y3, z3)
+
+
+def jacobian_add_affine(p1: JacobianPoint, p2: AffinePoint) -> JacobianPoint:
+    """Mixed addition: Jacobian + affine (Z2 = 1), saving 5 multiplications."""
+    if p2 is None:
+        return p1
+    if p1 is None:
+        x2, y2 = p2
+        return (x2, y2, 1)
+    x1, y1, z1 = p1
+    x2, y2 = p2
+    z1_sq = z1 * z1 % P
+    u2 = x2 * z1_sq % P
+    s2 = y2 * z1_sq * z1 % P
+    if x1 == u2:
+        if y1 != s2:
+            return None
+        return jacobian_double(p1)
+    h = (u2 - x1) % P
+    r = (s2 - y1) % P
+    h_sq = h * h % P
+    h_cu = h * h_sq % P
+    u1h_sq = x1 * h_sq % P
+    x3 = (r * r - h_cu - 2 * u1h_sq) % P
+    y3 = (r * (u1h_sq - x3) - y1 * h_cu) % P
+    z3 = h * z1 % P
+    return (x3, y3, z3)
+
+
+def jacobian_negate(point: JacobianPoint) -> JacobianPoint:
+    """Negate a Jacobian point."""
+    if point is None:
+        return None
+    x, y, z = point
+    return (x, (-y) % P, z)
+
+
+def to_jacobian(point: AffinePoint) -> JacobianPoint:
+    """Lift an affine point to Jacobian coordinates."""
+    if point is None:
+        return None
+    return (point[0], point[1], 1)
+
+
+def to_affine(point: JacobianPoint) -> AffinePoint:
+    """Project back to affine with the single inversion of the whole mul."""
+    if point is None or point[2] == 0:
+        return None
+    x, y, z = point
+    z_inv = field_inverse(z)
+    z_inv_sq = z_inv * z_inv % P
+    return (x * z_inv_sq % P, y * z_inv_sq * z_inv % P)
+
+
+def batch_to_affine(points: list[JacobianPoint]) -> list[AffinePoint]:
+    """Normalize many Jacobian points with ONE inversion (Montgomery's trick).
+
+    Used when building precomputation tables: inverting 960 Z coordinates
+    one-by-one would cost more than the table saves.
+    """
+    # Prefix products of the non-zero Zs.
+    zs = [p[2] for p in points if p is not None and p[2] != 0]
+    if not zs:
+        return [None] * len(points)
+    prefix = [1] * (len(zs) + 1)
+    for index, z in enumerate(zs):
+        prefix[index + 1] = prefix[index] * z % P
+    inv_all = field_inverse(prefix[-1])
+    # Walk backwards, peeling one inverse Z per point.
+    inv_zs: list[int] = [0] * len(zs)
+    for index in range(len(zs) - 1, -1, -1):
+        inv_zs[index] = prefix[index] * inv_all % P
+        inv_all = inv_all * zs[index] % P
+    result: list[AffinePoint] = []
+    cursor = 0
+    for point in points:
+        if point is None or point[2] == 0:
+            result.append(None)
+            continue
+        x, y, _ = point
+        z_inv = inv_zs[cursor]
+        cursor += 1
+        z_inv_sq = z_inv * z_inv % P
+        result.append((x * z_inv_sq % P, y * z_inv_sq * z_inv % P))
+    return result
+
+
+# -- wNAF recoding -----------------------------------------------------------
+
+
+def wnaf(scalar: int, width: int) -> list[int]:
+    """Width-``w`` non-adjacent form of ``scalar`` (least significant first).
+
+    Digits are zero or odd in ``(-2^(w-1), 2^(w-1))``; at most one in any
+    ``width`` consecutive positions is non-zero, so a 256-bit scalar needs
+    about ``256 / (width + 1)`` point additions.
+    """
+    digits: list[int] = []
+    window = 1 << width
+    half = window >> 1
+    while scalar > 0:
+        if scalar & 1:
+            digit = scalar % window
+            if digit >= half:
+                digit -= window
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def _odd_multiples(point: AffinePoint, width: int) -> list[JacobianPoint]:
+    """Jacobian table ``[1P, 3P, 5P, ..., (2^(width-1) - 1)P]``."""
+    base = to_jacobian(point)
+    twice = jacobian_double(base)
+    table = [base]
+    for _ in range((1 << (width - 1)) // 2 - 1):
+        table.append(jacobian_add(table[-1], twice))
+    return table
+
+
+# -- precomputed tables for G (built lazily, normalized in one batch) --------
+
+_FIXED_BASE_TABLE: Optional[list[list[AffinePoint]]] = None
+_G_WNAF_TABLE: Optional[list[AffinePoint]] = None
+_PHI_G_WNAF_TABLE: Optional[list[AffinePoint]] = None
+
+
+def _fixed_base_table() -> list[list[AffinePoint]]:
+    """``table[i][d-1] = d · 16^i · G`` for windows ``i`` and digits ``d``."""
+    global _FIXED_BASE_TABLE
+    if _FIXED_BASE_TABLE is None:
+        flat: list[JacobianPoint] = []
+        window_base: JacobianPoint = (GX, GY, 1)
+        for _ in range(_FB_WINDOWS):
+            entry = window_base
+            for _ in range(_FB_TABLE_SIZE):
+                flat.append(entry)
+                entry = jacobian_add(entry, window_base)
+            window_base = entry  # 16 · previous window base
+        affine = batch_to_affine(flat)
+        _FIXED_BASE_TABLE = [
+            affine[row * _FB_TABLE_SIZE:(row + 1) * _FB_TABLE_SIZE]
+            for row in range(_FB_WINDOWS)
+        ]
+    return _FIXED_BASE_TABLE
+
+
+def _g_wnaf_table() -> list[AffinePoint]:
+    """Affine odd multiples of G for the wide wNAF in Shamir's trick."""
+    global _G_WNAF_TABLE
+    if _G_WNAF_TABLE is None:
+        _G_WNAF_TABLE = batch_to_affine(
+            _odd_multiples((GX, GY), _WNAF_BASE_WIDTH)
+        )
+    return _G_WNAF_TABLE
+
+
+@lru_cache(maxsize=512)
+def _point_wnaf_table(x: int, y: int) -> list[AffinePoint]:
+    """Affine odd-multiple table for an arbitrary point, LRU-cached.
+
+    Real workloads verify many signatures from a small set of keys
+    (validator seals, repeat senders), so the per-point precomputation is
+    worth remembering across calls.
+    """
+    return batch_to_affine(_odd_multiples((x, y), _WNAF_POINT_WIDTH))
+
+
+# -- public scalar-multiplication API ----------------------------------------
+
+
+def scalar_mult_base(scalar: int) -> AffinePoint:
+    """``scalar · G`` via the fixed-base window table (no doublings)."""
+    scalar %= N
+    if scalar == 0:
+        return None
+    table = _fixed_base_table()
+    p = P
+    # Mixed additions inlined over scalar locals (az == 0 is infinity); this
+    # is the signing hot loop, ~64 iterations with no doublings at all.
+    ax = ay = az = 0
+    for window in range(_FB_WINDOWS):
+        digit = scalar & _FB_TABLE_SIZE
+        scalar >>= _FB_WINDOW_BITS
+        if not digit:
+            continue
+        qx, qy = table[window][digit - 1]
+        if az == 0:
+            ax, ay, az = qx, qy, 1
+            continue
+        z_sq = az * az % p
+        u2 = qx * z_sq % p
+        if ax == u2:  # same x: doubling or cancellation (rare)
+            result = jacobian_add_affine((ax, ay, az), (qx, qy))
+            ax, ay, az = result if result is not None else (0, 0, 0)
+            continue
+        s2 = qy * z_sq * az % p
+        h = u2 - ax
+        r = (s2 - ay) % p
+        h_sq = h * h % p
+        h_cu = h * h_sq % p
+        u1h_sq = ax * h_sq % p
+        x3 = (r * r - h_cu - 2 * u1h_sq) % p
+        ay = (r * (u1h_sq - x3) - ay * h_cu) % p
+        ax = x3
+        az = h * az % p
+    if az == 0:
+        return None
+    return to_affine((ax, ay, az))
+
+
+def scalar_mult(scalar: int, point: AffinePoint) -> AffinePoint:
+    """``scalar · point`` via width-5 wNAF with Jacobian accumulation."""
+    scalar %= N
+    if scalar == 0 or point is None:
+        return None
+    digits = wnaf(scalar, _WNAF_POINT_WIDTH)
+    table = _point_wnaf_table(point[0], point[1])
+    p = P
+    accumulator: JacobianPoint = None
+    for digit in reversed(digits):
+        # Inlined jacobian_double: the ~256 doublings dominate the loop, so
+        # the call/tuple overhead is worth trading away.
+        if accumulator is not None:
+            x1, y1, z1 = accumulator
+            if y1 == 0:
+                accumulator = None
+            else:
+                y1_sq = y1 * y1 % p
+                s = 4 * x1 * y1_sq % p
+                m = 3 * x1 * x1 % p
+                x3 = (m * m - 2 * s) % p
+                accumulator = (
+                    x3,
+                    (m * (s - x3) - 8 * y1_sq * y1_sq) % p,
+                    2 * y1 * z1 % p,
+                )
+        if digit > 0:
+            accumulator = jacobian_add_affine(accumulator, table[digit >> 1])
+        elif digit < 0:
+            x, y = table[(-digit) >> 1]
+            accumulator = jacobian_add_affine(accumulator, (x, p - y))
+    return to_affine(accumulator)
+
+
+# -- GLV endomorphism --------------------------------------------------------
+#
+# secp256k1 has j-invariant 0, so F_p contains a primitive cube root of unity
+# β and the map φ(x, y) = (βx, y) is an endomorphism acting as multiplication
+# by a cube root of unity λ in Z_n.  Any scalar k then splits as
+# ``k ≡ k1 + k2·λ (mod n)`` with |k1|, |k2| ≈ √n, halving the doubling chain
+# of a multi-scalar multiplication.  Rather than hard-coding the well-known
+# constants, they are DERIVED here (cube roots via exponentiation, the short
+# lattice basis via the extended Euclidean algorithm) and self-checked against
+# the curve; if any check fails the backend silently falls back to plain
+# full-length wNAF, so correctness never depends on the derivation.
+
+_GLV_PARAMS: Optional[tuple] = None
+_GLV_READY = False
+
+
+def _cube_root_of_unity(modulus: int) -> Optional[int]:
+    """A primitive cube root of 1 modulo a prime ``modulus ≡ 1 (mod 3)``."""
+    if modulus % 3 != 1:
+        return None
+    exponent = (modulus - 1) // 3
+    for base in range(2, 64):
+        candidate = pow(base, exponent, modulus)
+        if candidate != 1 and pow(candidate, 3, modulus) == 1:
+            return candidate
+    return None
+
+
+def _glv_basis(lam: int) -> tuple[int, int, int, int]:
+    """Two short vectors ``(a1, b1), (a2, b2)`` of the lattice
+    ``{(x, y) : x + y·λ ≡ 0 (mod n)}`` via the extended Euclidean algorithm.
+    """
+    from math import isqrt
+
+    bound = isqrt(N)
+    rows: list[tuple[int, int]] = [(N, 0), (lam, 1)]
+    r_prev, r_curr = N, lam
+    t_prev, t_curr = 0, 1
+    while r_curr != 0:
+        quotient = r_prev // r_curr
+        r_prev, r_curr = r_curr, r_prev - quotient * r_curr
+        t_prev, t_curr = t_curr, t_prev - quotient * t_curr
+        rows.append((r_curr, t_curr))
+    pivot = max(i for i, (r, _) in enumerate(rows) if r >= bound)
+    a1, b1 = rows[pivot + 1][0], -rows[pivot + 1][1]
+    candidates = [rows[pivot]]
+    if pivot + 2 < len(rows):
+        candidates.append(rows[pivot + 2])
+    r2, t2 = min(candidates, key=lambda row: row[0] * row[0] + row[1] * row[1])
+    return a1, b1, r2, -t2
+
+
+def _glv_split(k: int, lam: int, a1: int, b1: int,
+               a2: int, b2: int) -> tuple[int, int]:
+    """Decompose ``k ≡ k1 + k2·λ (mod n)`` with half-length components."""
+    c1 = (2 * b2 * k + N) // (2 * N)
+    c2 = (-2 * b1 * k + N) // (2 * N)
+    k1 = k - c1 * a1 - c2 * a2
+    k2 = -c1 * b1 - c2 * b2
+    return k1, k2
+
+
+def _glv_params() -> Optional[tuple]:
+    """Derive and cache (λ, β, a1, b1, a2, b2); None if derivation fails."""
+    global _GLV_PARAMS, _GLV_READY
+    if not _GLV_READY:
+        _GLV_READY = True
+        _GLV_PARAMS = _derive_glv()
+    return _GLV_PARAMS
+
+
+def _derive_glv() -> Optional[tuple]:
+    beta = _cube_root_of_unity(P)
+    lam = _cube_root_of_unity(N)
+    if beta is None or lam is None:
+        return None
+    # Pair up the roots: φ(G) = (βx, y) must equal λ·G.  Each root has one
+    # alternative (its square); try the four combinations.
+    for beta_cand in (beta, beta * beta % P):
+        mapped = (beta_cand * GX % P, GY)
+        for lam_cand in (lam, lam * lam % N):
+            if scalar_mult_base(lam_cand) == mapped:
+                a1, b1, a2, b2 = _glv_basis(lam_cand)
+                # Self-check the decomposition on a few awkward scalars.
+                for k in (1, 2, N - 1, N // 3, 0xDEADBEEF * 2**200 % N):
+                    k1, k2 = _glv_split(k, lam_cand, a1, b1, a2, b2)
+                    if (k1 + k2 * lam_cand - k) % N != 0:
+                        return None
+                    if max(abs(k1), abs(k2)).bit_length() > 135:
+                        return None
+                return (lam_cand, beta_cand, a1, b1, a2, b2)
+    return None
+
+
+def _phi_g_wnaf_table() -> list[AffinePoint]:
+    """Affine odd multiples of φ(G) (the G table mapped through β)."""
+    global _PHI_G_WNAF_TABLE
+    if _PHI_G_WNAF_TABLE is None:
+        params = _glv_params()
+        assert params is not None
+        beta = params[1]
+        _PHI_G_WNAF_TABLE = [
+            (beta * x % P, y) for x, y in _g_wnaf_table()
+        ]
+    return _PHI_G_WNAF_TABLE
+
+
+# -- Shamir / Strauss interleaved multi-scalar multiplication ----------------
+
+
+def _signed_stream(scalar: int, width: int,
+                   table: list[AffinePoint]) -> tuple[list[int], list[AffinePoint]]:
+    """wNAF digits of ``|scalar|`` plus the table, with the sign folded in."""
+    if scalar < 0:
+        return wnaf(-scalar, width), [(x, P - y) for x, y in table]
+    return wnaf(scalar, width), table
+
+
+def double_scalar_mult_base(scalar_g: int, scalar_q: int,
+                            point_q: AffinePoint) -> AffinePoint:
+    """``scalar_g · G + scalar_q · Q`` with one shared doubling chain.
+
+    This is Shamir's trick as used by ECDSA verification: all wNAF expansions
+    are interleaved so the doublings are paid once.  With the GLV
+    endomorphism available each scalar splits into two half-length halves
+    (four streams, ~128 doublings); otherwise two full-length streams
+    (~256 doublings) are used.  The ``G`` side always reads the wide static
+    table; the ``Q`` side precomputes (and LRU-caches) its odd multiples.
+    """
+    scalar_g %= N
+    scalar_q %= N
+    if point_q is None or scalar_q == 0:
+        return scalar_mult_base(scalar_g)
+    if scalar_g == 0:
+        return scalar_mult(scalar_q, point_q)
+    table_q = _point_wnaf_table(point_q[0], point_q[1])
+    params = _glv_params()
+    if params is not None:
+        lam, beta, a1, b1, a2, b2 = params
+        g1, g2 = _glv_split(scalar_g, lam, a1, b1, a2, b2)
+        q1, q2 = _glv_split(scalar_q, lam, a1, b1, a2, b2)
+        table_phi_q = [(beta * x % P, y) for x, y in table_q]
+        sources = (
+            (g1, _WNAF_BASE_WIDTH, _g_wnaf_table()),
+            (g2, _WNAF_BASE_WIDTH, _phi_g_wnaf_table()),
+            (q1, _WNAF_POINT_WIDTH, table_q),
+            (q2, _WNAF_POINT_WIDTH, table_phi_q),
+        )
+    else:
+        sources = (
+            (scalar_g, _WNAF_BASE_WIDTH, _g_wnaf_table()),
+            (scalar_q, _WNAF_POINT_WIDTH, table_q),
+        )
+    streams = [
+        _signed_stream(scalar, width, table)
+        for scalar, width, table in sources
+        if scalar != 0
+    ]
+    length = max(len(digits) for digits, _ in streams)
+    for digits, _ in streams:
+        digits.extend([0] * (length - len(digits)))
+    p = P
+    # The accumulator lives in three scalar locals (az == 0 means infinity):
+    # over ~128-256 iterations, tuple packing/unpacking and helper calls are
+    # the dominant interpreter cost, so both the doubling and the mixed
+    # addition are inlined.  Rare degenerate branches fall back to helpers.
+    ax = ay = az = 0
+    for index in range(length - 1, -1, -1):
+        if az:
+            if ay == 0:
+                az = 0
+            else:
+                y_sq = ay * ay % p
+                s = 4 * ax * y_sq % p
+                m = 3 * ax * ax % p
+                x3 = (m * m - 2 * s) % p
+                az = 2 * ay * az % p
+                ay = (m * (s - x3) - 8 * y_sq * y_sq) % p
+                ax = x3
+        for digits, table in streams:
+            digit = digits[index]
+            if digit == 0:
+                continue
+            if digit > 0:
+                qx, qy = table[digit >> 1]
+            else:
+                qx, qy = table[(-digit) >> 1]
+                qy = p - qy
+            if az == 0:
+                ax, ay, az = qx, qy, 1
+                continue
+            z_sq = az * az % p
+            u2 = qx * z_sq % p
+            if ax == u2:  # same x: doubling or cancellation (rare)
+                result = jacobian_add_affine((ax, ay, az), (qx, qy))
+                ax, ay, az = result if result is not None else (0, 0, 0)
+                continue
+            s2 = qy * z_sq * az % p
+            h = u2 - ax
+            r = (s2 - ay) % p
+            h_sq = h * h % p
+            h_cu = h * h_sq % p
+            u1h_sq = ax * h_sq % p
+            x3 = (r * r - h_cu - 2 * u1h_sq) % p
+            ay = (r * (u1h_sq - x3) - ay * h_cu) % p
+            ax = x3
+            az = h * az % p
+    if az == 0:
+        return None
+    return to_affine((ax, ay, az))
+
+
+def is_on_curve(point: AffinePoint) -> bool:
+    """Check the affine curve equation (None counts as on-curve)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + 7)) % P == 0

@@ -1,26 +1,38 @@
 """Pure-Python ECDSA over secp256k1.
 
 This is the signature scheme behind every account, device, certificate and
-enclave quote in the reproduction.  It is a complete textbook implementation:
+enclave quote in the reproduction:
 
-* affine point arithmetic on the secp256k1 short Weierstrass curve,
 * key generation from an RNG or deterministic seed,
 * RFC 6979-style deterministic nonces (no RNG needed at signing time, and no
   nonce-reuse catastrophes in tests),
-* low-s normalization as enforced by Ethereum,
+* low-s normalization as enforced by Ethereum — now *required* on the verify
+  side too, so the (r, -s) malleability twin of a signature is rejected,
 * Ethereum-style address derivation from the uncompressed public key.
 
-The implementation favors clarity over speed; signing and verification take
-well under a millisecond, which is plenty for a laptop-scale marketplace.
+The point arithmetic behind signing and verification lives in
+:mod:`repro.crypto.ec_backend` (Jacobian coordinates, wNAF, fixed-base
+tables, Shamir's trick, GLV): scalar multiplications that used to cost one
+modular inversion per point addition now cost one inversion total.  On top
+of the fast math sits a small LRU cache of verification outcomes, so chain
+audits that re-verify the same seals (``verify_chain``) are near-free.
+
+The original textbook affine implementation is retained below
+(:func:`_point_add` / :func:`_point_mul`) as the *reference oracle*: it is
+deliberately naive, independent of the fast backend, and used by the
+differential tests in ``tests/crypto`` to cross-check every optimized path.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
+from repro.crypto import ec_backend
 from repro.crypto.hashing import (
     address_from_public_key,
     hash_to_int,
@@ -53,7 +65,11 @@ def _is_on_curve(point: _Point) -> bool:
 
 
 def _point_add(p1: _Point, p2: _Point) -> _Point:
-    """Add two points on secp256k1 (affine coordinates)."""
+    """Add two points on secp256k1 (affine coordinates).
+
+    Reference-oracle path: kept textbook-simple and independent of
+    :mod:`repro.crypto.ec_backend` for differential testing.
+    """
     if p1 is None:
         return p2
     if p2 is None:
@@ -72,7 +88,7 @@ def _point_add(p1: _Point, p2: _Point) -> _Point:
 
 
 def _point_mul(scalar: int, point: _Point) -> _Point:
-    """Double-and-add scalar multiplication."""
+    """Double-and-add scalar multiplication (reference oracle, see above)."""
     if scalar % N == 0 or point is None:
         return None
     scalar %= N
@@ -105,14 +121,41 @@ class Signature:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Signature":
-        """Parse the 65-byte wire format produced by :meth:`to_bytes`."""
+        """Parse the 65-byte wire format produced by :meth:`to_bytes`.
+
+        Malformed scalars are rejected at the decoding boundary, before any
+        EC math can run on them: ``r`` and ``s`` must lie in ``[1, n-1]``
+        and ``s`` must be in the low half of the range (the high-s twin of
+        a valid signature also verifies under textbook ECDSA, which would
+        make signatures malleable identifiers).
+        """
         if len(data) != 65:
             raise InvalidSignatureError(f"signature must be 65 bytes, got {len(data)}")
-        return cls(
-            r=int.from_bytes(data[:32], "big"),
-            s=int.from_bytes(data[32:64], "big"),
-            v=data[64],
-        )
+        r = int.from_bytes(data[:32], "big")
+        s = int.from_bytes(data[32:64], "big")
+        if not 1 <= r < N:
+            raise InvalidSignatureError("signature r out of range [1, n-1]")
+        if not 1 <= s < N:
+            raise InvalidSignatureError("signature s out of range [1, n-1]")
+        if s > N // 2:
+            raise InvalidSignatureError("signature s is not low-s normalized")
+        return cls(r=r, s=s, v=data[64])
+
+
+# Verification outcomes, keyed by (pubkey x, pubkey y, digest, r, s).  Chain
+# audits re-verify the same seals and transaction signatures over and over;
+# the outcome is deterministic, so replays cost a dict lookup.
+_VERIFY_CACHE: OrderedDict[tuple[int, int, int, int, int], bool] = OrderedDict()
+_VERIFY_CACHE_MAX = 8192
+
+
+@lru_cache(maxsize=4096)
+def _cached_address(x: int, y: int) -> str:
+    """Address derivation is hash + hex; cached because the chain layer asks
+    for the same key's address on every signature check."""
+    return address_from_public_key(
+        x.to_bytes(32, "big") + y.to_bytes(32, "big")
+    )
 
 
 @dataclass(frozen=True)
@@ -142,25 +185,53 @@ class PublicKey:
     @property
     def address(self) -> str:
         """Ethereum-style address: last 20 bytes of keccak256(x || y)."""
-        return address_from_public_key(self.to_bytes()[1:])
+        return _cached_address(self.x, self.y)
 
     def verify(self, message: bytes, signature: Signature) -> bool:
         """Verify an ECDSA signature over ``keccak256(message)``.
 
         Returns True/False rather than raising, because verification failure
         is an expected condition for adversarial inputs.
+
+        Scalars are range-checked and low-s is *required* before any EC math
+        runs (high-s twins are malleable duplicates, see
+        :meth:`Signature.from_bytes`).  Outcomes are LRU-cached keyed by
+        ``(pubkey, digest, r, s)``, so audit replays of already-seen
+        signatures (``Blockchain.verify_chain``) skip the curve entirely.
         """
         r, s = signature.r, signature.s
         if not (1 <= r < N and 1 <= s < N):
             return False
+        if s > N // 2:
+            return False
         digest = hash_to_int(message, N)
+        cache_key = (self.x, self.y, digest, r, s)
+        cached = _VERIFY_CACHE.get(cache_key)
+        if cached is not None:
+            _VERIFY_CACHE.move_to_end(cache_key)
+            return cached
         s_inv = _inverse_mod(s, N)
         u1 = digest * s_inv % N
         u2 = r * s_inv % N
-        point = _point_add(_point_mul(u1, (GX, GY)), _point_mul(u2, (self.x, self.y)))
-        if point is None:
-            return False
-        return point[0] % N == r
+        point = ec_backend.double_scalar_mult_base(u1, u2, (self.x, self.y))
+        ok = point is not None and point[0] % N == r
+        _VERIFY_CACHE[cache_key] = ok
+        if len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.popitem(last=False)
+        return ok
+
+
+@lru_cache(maxsize=2048)
+def _derive_public_key(secret: int) -> PublicKey:
+    """``secret · G`` via the fixed-base table, cached per scalar.
+
+    Wallets ask for their address (and hence public key) on every
+    transaction they build; deriving it once per key instead of once per
+    call removes a full scalar multiplication from the hot path.
+    """
+    point = ec_backend.scalar_mult_base(secret)
+    assert point is not None  # secret is in [1, n) so this cannot be infinity
+    return PublicKey(*point)
 
 
 @dataclass(frozen=True)
@@ -199,10 +270,8 @@ class PrivateKey:
 
     @property
     def public_key(self) -> PublicKey:
-        """The corresponding curve point ``secret * G``."""
-        point = _point_mul(self.secret, (GX, GY))
-        assert point is not None  # secret is in [1, n) so this cannot be infinity
-        return PublicKey(*point)
+        """The corresponding curve point ``secret * G`` (computed once)."""
+        return _derive_public_key(self.secret)
 
     @property
     def address(self) -> str:
@@ -227,7 +296,7 @@ class PrivateKey:
         attempt = 0
         while True:
             k = self._deterministic_nonce(digest, attempt)
-            point = _point_mul(k, (GX, GY))
+            point = ec_backend.scalar_mult_base(k)
             assert point is not None
             r = point[0] % N
             if r == 0:
@@ -251,7 +320,9 @@ def shared_secret(private_key: PrivateKey, public_key: PublicKey) -> bytes:
     Used to provision data keys into enclaves: the provider encrypts under
     the ECDH secret shared with the enclave's ephemeral key.
     """
-    point = _point_mul(private_key.secret, (public_key.x, public_key.y))
+    point = ec_backend.scalar_mult(
+        private_key.secret, (public_key.x, public_key.y)
+    )
     if point is None:
         raise InvalidKeyError("ECDH produced the point at infinity")
     return keccak256(b"ecdh" + point[0].to_bytes(32, "big"))

@@ -65,22 +65,29 @@ class MerkleTree:
             if not isinstance(leaf, bytes):
                 raise TypeError("Merkle leaves must be bytes")
         self._leaves = list(leaves)
-        self._levels = self._build_levels()
+        # Level hashes are built lazily on first use and then cached: a tree
+        # over n leaves hashes exactly once (n leaf + ~n-1 node hashes), and
+        # every subsequent root/proof access is pure lookups — repeated
+        # ``proof(i)`` calls cost O(log n) with zero hash invocations.
+        self._levels: list[list[bytes]] | None = None
 
     def _build_levels(self) -> list[list[bytes]]:
-        if not self._leaves:
-            return [[self.EMPTY_ROOT]]
-        level = [_hash_leaf(leaf) for leaf in self._leaves]
-        levels = [level]
-        while len(level) > 1:
-            next_level = []
-            for index in range(0, len(level) - 1, 2):
-                next_level.append(_hash_node(level[index], level[index + 1]))
-            if len(level) % 2 == 1:
-                next_level.append(level[-1])
-            level = next_level
-            levels.append(level)
-        return levels
+        if self._levels is None:
+            if not self._leaves:
+                self._levels = [[self.EMPTY_ROOT]]
+                return self._levels
+            level = [_hash_leaf(leaf) for leaf in self._leaves]
+            levels = [level]
+            while len(level) > 1:
+                next_level = []
+                for index in range(0, len(level) - 1, 2):
+                    next_level.append(_hash_node(level[index], level[index + 1]))
+                if len(level) % 2 == 1:
+                    next_level.append(level[-1])
+                level = next_level
+                levels.append(level)
+            self._levels = levels
+        return self._levels
 
     def __len__(self) -> int:
         return len(self._leaves)
@@ -88,15 +95,19 @@ class MerkleTree:
     @property
     def root(self) -> bytes:
         """The 32-byte Merkle root committing to all leaves in order."""
-        return self._levels[-1][0]
+        return self._build_levels()[-1][0]
 
     def proof(self, leaf_index: int) -> MerkleProof:
-        """Build the inclusion proof for the leaf at ``leaf_index``."""
+        """Build the inclusion proof for the leaf at ``leaf_index``.
+
+        After the first call (or any ``root`` access) this re-hashes
+        nothing: siblings are read straight from the cached levels.
+        """
         if not 0 <= leaf_index < len(self._leaves):
             raise IndexError(f"leaf index {leaf_index} out of range")
         siblings: list[bytes] = []
         index = leaf_index
-        for level in self._levels[:-1]:
+        for level in self._build_levels()[:-1]:
             sibling_index = index ^ 1
             if sibling_index < len(level):
                 siblings.append(level[sibling_index])

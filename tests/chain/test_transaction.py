@@ -109,3 +109,80 @@ class TestIntrinsicGas:
         deploy = build_tx(key, to=CREATE,
                           payload={"contract": "x", "args": {}})
         assert deploy.intrinsic_gas > call.intrinsic_gas
+
+
+class TestMemoization:
+    """Canonical bytes / hashes are computed once and invalidated on mutation."""
+
+    @staticmethod
+    def _counting_serializer(monkeypatch):
+        import repro.chain.transaction as tx_module
+        from repro.utils.serialization import canonical_json_bytes as real
+
+        counter = {"calls": 0}
+
+        def counting(value):
+            counter["calls"] += 1
+            return real(value)
+
+        monkeypatch.setattr(tx_module, "canonical_json_bytes", counting)
+        return counter
+
+    def test_signing_bytes_serialized_once(self, key, monkeypatch):
+        counter = self._counting_serializer(monkeypatch)
+        tx = build_tx(key)
+        tx.signing_bytes()
+        tx.signing_bytes()
+        tx.tx_hash
+        tx.tx_hash
+        assert counter["calls"] == 1
+
+    def test_intrinsic_gas_serializes_payload_once(self, key, monkeypatch):
+        counter = self._counting_serializer(monkeypatch)
+        tx = build_tx(key, payload={"method": "m", "args": {"a": 1}})
+        first = tx.intrinsic_gas
+        assert tx.intrinsic_gas == first
+        assert counter["calls"] == 1
+
+    def test_sign_submit_pipeline_serializes_once(self, key, monkeypatch):
+        counter = self._counting_serializer(monkeypatch)
+        tx = build_tx(key).sign(key)
+        tx.verify_signature()
+        tx.tx_hash
+        # sign() assigns public_key/signature (unsigned fields), which must
+        # not invalidate; the whole pipeline serializes the payload once.
+        assert counter["calls"] == 1
+
+    def test_field_mutation_invalidates_hash(self, key):
+        tx = build_tx(key)
+        original = tx.tx_hash
+        tx.nonce = 1
+        assert tx.tx_hash != original
+        tx.nonce = 0
+        assert tx.tx_hash == original
+
+    def test_payload_reassignment_invalidates(self, key):
+        tx = build_tx(key, payload={"method": "a", "args": {}})
+        original_hash = tx.tx_hash
+        original_gas = tx.intrinsic_gas
+        tx.payload = {"method": "a", "args": {"x": "y" * 100}}
+        assert tx.tx_hash != original_hash
+        assert tx.intrinsic_gas > original_gas
+
+    def test_resign_after_mutation_verifies(self, key):
+        tx = build_tx(key).sign(key)
+        tx.value = 999
+        tx.sign(key)
+        tx.verify_signature()
+
+    def test_stale_signature_detected_after_mutation(self, key):
+        tx = build_tx(key).sign(key)
+        tx.value = 999
+        with pytest.raises(InvalidTransactionError):
+            tx.verify_signature()
+
+    def test_signature_assignment_does_not_invalidate(self, key):
+        tx = build_tx(key)
+        before = tx.tx_hash
+        tx.sign(key)
+        assert tx.tx_hash == before

@@ -111,6 +111,90 @@ class TestSignatures:
         assert key.public_key.verify(message, key.sign(message))
 
 
+class TestMalleabilityHardening:
+    """r/s range and low-s checks happen before any EC math runs."""
+
+    def test_high_s_twin_rejected_by_verify(self, key):
+        signature = key.sign(b"msg")
+        # (r, n - s) verifies under textbook ECDSA — it must NOT here.
+        twin = Signature(r=signature.r, s=N - signature.s, v=signature.v ^ 1)
+        assert not key.public_key.verify(b"msg", twin)
+
+    @pytest.mark.parametrize("r", [0, N, N + 1])
+    def test_out_of_range_r_rejected_by_verify(self, key, r):
+        signature = key.sign(b"msg")
+        forged = Signature(r=r, s=signature.s, v=signature.v)
+        assert not key.public_key.verify(b"msg", forged)
+
+    @pytest.mark.parametrize("s", [0, N, N + 1])
+    def test_out_of_range_s_rejected_by_verify(self, key, s):
+        signature = key.sign(b"msg")
+        forged = Signature(r=signature.r, s=s, v=signature.v)
+        assert not key.public_key.verify(b"msg", forged)
+
+    def test_from_bytes_rejects_zero_r(self, key):
+        signature = key.sign(b"msg")
+        data = (0).to_bytes(32, "big") + signature.s.to_bytes(32, "big") \
+            + bytes([signature.v])
+        with pytest.raises(InvalidSignatureError):
+            Signature.from_bytes(data)
+
+    def test_from_bytes_rejects_overflow_s(self, key):
+        signature = key.sign(b"msg")
+        data = signature.r.to_bytes(32, "big") + N.to_bytes(32, "big") \
+            + bytes([signature.v])
+        with pytest.raises(InvalidSignatureError):
+            Signature.from_bytes(data)
+
+    def test_from_bytes_rejects_high_s(self, key):
+        signature = key.sign(b"msg")
+        data = signature.r.to_bytes(32, "big") \
+            + (N - signature.s).to_bytes(32, "big") + bytes([signature.v])
+        with pytest.raises(InvalidSignatureError):
+            Signature.from_bytes(data)
+
+    def test_from_bytes_accepts_valid(self, key):
+        signature = key.sign(b"msg")
+        assert Signature.from_bytes(signature.to_bytes()) == signature
+
+
+class TestVerificationCache:
+    def test_replay_skips_ec_math(self, key, monkeypatch):
+        import repro.crypto.ecdsa as ecdsa_module
+
+        message = b"cache me"
+        signature = key.sign(message)
+        public = key.public_key
+        ecdsa_module._VERIFY_CACHE.clear()
+        calls = 0
+        real = ecdsa_module.ec_backend.double_scalar_mult_base
+
+        def counting(*args):
+            nonlocal calls
+            calls += 1
+            return real(*args)
+
+        monkeypatch.setattr(ecdsa_module.ec_backend,
+                            "double_scalar_mult_base", counting)
+        assert public.verify(message, signature)
+        assert public.verify(message, signature)
+        assert public.verify(message, signature)
+        assert calls == 1
+
+    def test_failures_are_cached_too(self, key, monkeypatch):
+        import repro.crypto.ecdsa as ecdsa_module
+
+        message = b"bad sig"
+        signature = key.sign(b"something else")
+        ecdsa_module._VERIFY_CACHE.clear()
+        assert not key.public_key.verify(message, signature)
+        monkeypatch.setattr(
+            ecdsa_module.ec_backend, "double_scalar_mult_base",
+            lambda *args: pytest.fail("EC math ran on a cached outcome"),
+        )
+        assert not key.public_key.verify(message, signature)
+
+
 class TestECDH:
     def test_symmetric(self, rng):
         a = PrivateKey.generate(rng)

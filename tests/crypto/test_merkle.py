@@ -108,3 +108,48 @@ class TestProofs:
         proof = tree.proof(index)
         assert MerkleTree.verify_proof(tree.root, leaves[index], proof,
                                        len(leaves))
+
+
+class TestHashCallCounts:
+    """The level cache hashes each tree exactly once, lazily."""
+
+    @staticmethod
+    def _counting_keccak(monkeypatch):
+        import repro.crypto.merkle as merkle_module
+        from repro.crypto.hashing import keccak256 as real_keccak256
+
+        counter = {"calls": 0}
+
+        def counting(data: bytes) -> bytes:
+            counter["calls"] += 1
+            return real_keccak256(data)
+
+        monkeypatch.setattr(merkle_module, "keccak256", counting)
+        return counter
+
+    def test_construction_hashes_nothing(self, monkeypatch):
+        counter = self._counting_keccak(monkeypatch)
+        MerkleTree([b"a", b"b", b"c", b"d"])
+        assert counter["calls"] == 0
+
+    def test_even_tree_hashes_once_then_lookups(self, monkeypatch):
+        counter = self._counting_keccak(monkeypatch)
+        tree = MerkleTree([bytes([i]) for i in range(8)])
+        tree.root
+        # 8 leaf hashes + 4 + 2 + 1 internal = 15, exactly once.
+        assert counter["calls"] == 15
+        for index in range(8):
+            tree.proof(index)
+        tree.root
+        assert counter["calls"] == 15, "proof()/root replays re-hashed"
+
+    def test_odd_tree_promotion_hash_count(self, monkeypatch):
+        counter = self._counting_keccak(monkeypatch)
+        tree = MerkleTree([bytes([i]) for i in range(5)])
+        tree.proof(4)
+        # 5 leaves; levels 5 -> 3 (2 nodes + promote) -> 2 (1 node +
+        # promote) -> 1 (1 node): 5 + 2 + 1 + 1 = 9 hashes total.
+        assert counter["calls"] == 9
+        for index in range(5):
+            tree.proof(index)
+        assert counter["calls"] == 9
