@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
+from repro.core import (
+    LIFECYCLE_PHASES,
+    Marketplace,
+    ModelSpec,
+    TrainingSpec,
+    WorkloadSpec,
+    phase_gas_totals,
+    phase_wall_times,
+)
 from repro.ml.datasets import (
     make_iot_activity,
     split_dirichlet,
@@ -66,6 +74,7 @@ def test_e1_full_lifecycle(benchmark):
     rows = [
         ["providers participating", len(result.participants)],
         ["executors", len(result.executors)],
+        ["active executors", len(result.active_executors)],
         ["consumer model accuracy", f"{result.consumer_score:.3f}"],
         ["reward pool fully paid", result.total_paid == 1_000_000],
         ["gas per workload", f"{result.gas_used:,}"],
@@ -73,8 +82,21 @@ def test_e1_full_lifecycle(benchmark):
         ["audit clean", result.audit.clean],
         ["certificates recorded", result.audit.certificates],
     ]
+    # Per-phase breakdown straight off the event bus: wall-clock seconds
+    # and gas for the last benchmarked session's trail.
+    trail = market.event_log.for_session(result.session_id)
+    wall = phase_wall_times(trail)
+    gas = phase_gas_totals(trail)
+    phase_rows = [
+        [phase, f"{wall.get(phase, 0.0) * 1e3:.1f}", f"{gas.get(phase, 0):,}"]
+        for phase in [p.name for p in LIFECYCLE_PHASES]
+    ]
     report("E1", "five-role lifecycle, end to end",
-           format_table(["metric", "value"], rows))
+           format_table(["metric", "value"], rows)
+           + ["", "phase timings (from the event bus):", ""]
+           + format_table(["phase", "wall ms", "gas"], phase_rows))
+
+    assert sum(gas.values()) == result.gas_used
 
     assert result.audit.clean
     assert result.consumer_score > 0.6

@@ -78,7 +78,7 @@ def test_e2_hardware_configurations(benchmark, rng):
         ["(c) fully outsourced", f"{c_bytes:,}",
          f"{c_latency * 1000:.1f}"],
     ]
-    report("E2", f"Fig. 3 hardware configurations "
+    report("E2", "Fig. 3 hardware configurations "
                  f"({DATA_BYTES // 1024} KiB partition)",
            format_table(["configuration", "external bytes", "latency ms"],
                         rows))

@@ -108,7 +108,7 @@ def test_e3_backend_overheads(benchmark, rng):
         ["smc (3 parties)", f"{smc_s:.5f}", f"{smc_s / plain_s:,.0f}x"],
         ["he (paillier)", f"{he_s:.5f}", f"{he_s / plain_s:,.0f}x"],
     ]
-    report("E3", f"oblivious backends, linear scoring "
+    report("E3", "oblivious backends, linear scoring "
                  f"n={SAMPLES} d={FEATURES}",
            format_table(["backend", "seconds", "slowdown"], rows))
 

@@ -48,6 +48,12 @@ class Blockchain:
         self.blocks: list[Block] = []
         self._receipts: dict[bytes, Receipt] = {}
         self.pending: list[Transaction] = []
+        #: Cumulative gas over all sealed blocks, maintained at mine time so
+        #: gas accounting is O(1) instead of a rescan of the whole chain.
+        self.total_gas_used = 0
+        #: Observers called with each newly sealed block (the event-bus hook
+        #: the marketplace uses; the chain layer stays core-agnostic).
+        self.block_observers: list[Any] = []
         self._seal_genesis()
 
     # -- construction --------------------------------------------------------
@@ -163,7 +169,17 @@ class Blockchain:
         self.consensus.seal(header)
         block = Block(header=header, transactions=included)
         self.blocks.append(block)
+        self.total_gas_used += gas_used
+        for observer in self.block_observers:
+            observer(block)
         return block
+
+    def logs_of(self, block: Block) -> Iterator[LogEntry]:
+        """Logs emitted by the successful transactions of one block."""
+        for tx in block.transactions:
+            receipt = self._receipts[tx.tx_hash]
+            if receipt.status:
+                yield from receipt.logs
 
     # -- verification ------------------------------------------------------------
 

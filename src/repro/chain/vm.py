@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.chain import gas as gas_schedule
-from repro.chain.contract import Contract, ContractRegistry
+from repro.chain.contract import ContractRegistry
 from repro.chain.state import WorldState
 from repro.chain.transaction import CREATE, LogEntry, Receipt, Transaction
 from repro.crypto.hashing import keccak256

@@ -7,6 +7,8 @@ Usage::
     python -m repro experiments          # list the experiment suite
     python -m repro aggregate --kind mean --dp-epsilon 1.0
                                          # run a DP aggregate workload
+    python -m repro quickstart --trace run.jsonl
+    python -m repro trace run.jsonl      # replay a session's event timeline
 
 The CLI exists so a downstream user can see the platform move without
 writing code; anything serious should use the Python API (see README).
@@ -81,13 +83,25 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     )
     print(f"running workload with {args.providers} providers, "
           f"{args.executors} executors…")
-    report = market.run_workload(consumer, spec)
+    if args.trace:
+        from repro.core.events import JSONLSink
+
+        with JSONLSink(args.trace) as sink:
+            market.events.attach(sink)
+            try:
+                report = market.run_workload(consumer, spec)
+            finally:
+                market.events.detach(sink)
+        print(f"event trace written to {args.trace} "
+              f"(replay: python -m repro trace {args.trace})")
+    else:
+        report = market.run_workload(consumer, spec)
     print(f"accuracy: {report.consumer_score:.3f}")
     print(f"gas used: {report.gas_used:,}")
     print(f"rewards paid: {report.total_paid:,} "
           f"across {len(report.payouts)} recipients")
     if report.achieved_epsilon is not None:
-        print(f"differential privacy: epsilon = "
+        print("differential privacy: epsilon = "
               f"{report.achieved_epsilon:.2f}")
     print(f"audit clean: {report.audit.clean}")
     return 0 if report.audit.clean else 1
@@ -173,9 +187,62 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
           f"({result.total_samples} samples from "
           f"{len(result.sample_counts)} providers)")
     if result.dp_epsilon is not None:
-        print(f"released with differential privacy, "
+        print("released with differential privacy, "
               f"epsilon = {result.dp_epsilon}")
     print(f"statistic: {result.statistic}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.events import phase_gas_totals, read_jsonl_events
+
+    try:
+        events = read_jsonl_events(args.run)
+    except OSError as exc:
+        print(f"cannot read trace {args.run!r}: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no events in {args.run!r}", file=sys.stderr)
+        return 1
+
+    sessions: list[str] = []
+    for event in events:
+        if event.session_id and event.session_id not in sessions:
+            sessions.append(event.session_id)
+    if args.session:
+        if args.session not in sessions:
+            print(f"session {args.session!r} not in trace "
+                  f"(have: {', '.join(sessions) or 'none'})", file=sys.stderr)
+            return 1
+        selected = args.session
+    elif sessions:
+        selected = sessions[-1]  # default: the most recent session
+    else:
+        print("trace has only platform-level events (no sessions)",
+              file=sys.stderr)
+        return 1
+
+    timeline = [e for e in events if e.session_id == selected]
+    print(f"session {selected} — {len(timeline)} events"
+          + (f" (of {len(sessions)} sessions in trace)"
+             if len(sessions) > 1 else ""))
+    header = (f"{'#':>4}  {'clock':>6}  {'phase':<18} {'event':<26} "
+              f"{'gas':>8}  {'block':>5}  actor")
+    print(header)
+    print("-" * len(header))
+    for event in timeline:
+        block = str(event.block_height) if event.block_height >= 0 else ""
+        gas = str(event.gas_delta) if event.gas_delta else ""
+        actor = event.actor[:14] + "…" if len(event.actor) > 15 else event.actor
+        print(f"{event.sequence:>4}  {event.sim_clock:>6.1f}  "
+              f"{event.phase:<18} {event.name:<26} {gas:>8}  {block:>5}  "
+              f"{actor}")
+    print("-" * len(header))
+    total_gas = sum(e.gas_delta for e in timeline)
+    print(f"total gas: {total_gas:,}")
+    for phase, gas in phase_gas_totals(timeline).items():
+        if gas:
+            print(f"  {phase:<20} {gas:>10,}")
     return 0
 
 
@@ -198,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--executors", type=int, default=2)
     quickstart.add_argument("--seed", type=int, default=42)
     quickstart.add_argument("--dp-epsilon", type=float, default=None)
+    quickstart.add_argument("--trace", default=None, metavar="PATH",
+                            help="write the lifecycle event trace to a "
+                                 "JSONL file (replay with `repro trace`)")
     quickstart.set_defaults(handler=_cmd_quickstart)
 
     subparsers.add_parser(
@@ -214,6 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("--dp-epsilon", type=float, default=None)
     aggregate.add_argument("--seed", type=int, default=7)
     aggregate.set_defaults(handler=_cmd_aggregate)
+
+    trace = subparsers.add_parser(
+        "trace", help="replay a recorded lifecycle event trace"
+    )
+    trace.add_argument("run", help="path to a JSONL trace written by "
+                                   "`repro quickstart --trace`")
+    trace.add_argument("--session", default=None,
+                       help="session id to replay (default: the last "
+                            "session in the trace)")
+    trace.set_defaults(handler=_cmd_trace)
     return parser
 
 

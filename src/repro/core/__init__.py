@@ -27,6 +27,27 @@ from repro.core.actors import (
     minimum_reward_policy,
     result_hash_of,
 )
+from repro.core.events import (
+    EventBus,
+    JSONLSink,
+    LifecycleEvent,
+    MetricsSink,
+    RingBufferSink,
+    phase_gas_totals,
+    phase_wall_times,
+    read_jsonl_events,
+)
+from repro.core.lifecycle import (
+    LIFECYCLE_PHASES,
+    PHASES_BY_NAME,
+    TRANSITIONS,
+    AggregateWorkloadKind,
+    LifecyclePhase,
+    MLTrainingKind,
+    SessionContext,
+    WorkloadKind,
+    WorkloadSession,
+)
 from repro.core.marketplace import (
     DEFAULT_FUNDING,
     Marketplace,
@@ -60,6 +81,23 @@ __all__ = [
     "accept_all_policy",
     "minimum_reward_policy",
     "result_hash_of",
+    "EventBus",
+    "JSONLSink",
+    "LifecycleEvent",
+    "MetricsSink",
+    "RingBufferSink",
+    "phase_gas_totals",
+    "phase_wall_times",
+    "read_jsonl_events",
+    "LIFECYCLE_PHASES",
+    "PHASES_BY_NAME",
+    "TRANSITIONS",
+    "AggregateWorkloadKind",
+    "LifecyclePhase",
+    "MLTrainingKind",
+    "SessionContext",
+    "WorkloadKind",
+    "WorkloadSession",
     "DEFAULT_FUNDING",
     "Marketplace",
     "WorkloadRunReport",

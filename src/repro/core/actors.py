@@ -37,7 +37,7 @@ from repro.core.workload import (
     enclave_entry_point,
     serialize_partition,
 )
-from repro.utils.serialization import canonical_json, canonical_json_bytes
+from repro.utils.serialization import canonical_json_bytes
 
 #: A provider policy: (spec, own matching record count) -> participate?
 ParticipationPolicy = Callable[[WorkloadSpec, int], bool]
@@ -99,26 +99,37 @@ class ProviderActor:
         matches = int(spec.requirement.matches(ontology, self.annotation))
         return self.policy(spec, matches)
 
-    def prepare_submission(self, spec: WorkloadSpec, executor_address: str,
-                           enclave_key: PublicKey, issued_at: float,
-                           rng: np.random.Generator
-                           ) -> tuple[Envelope, ParticipationCertificate]:
+    def prepare_submission_for(self, workload_id: str, executor_address: str,
+                               enclave_key: PublicKey, issued_at: float,
+                               rng: np.random.Generator
+                               ) -> tuple[Envelope, ParticipationCertificate]:
         """Build the encrypted data blob and the participation certificate.
 
         The certificate Merkle-commits to the exact serialized rows; the
         envelope carries the same rows encrypted to the *attested* enclave
-        key, so only the measured code can read them.
+        key, so only the measured code can read them.  Kind-agnostic: both
+        ML-training and aggregate workloads submit data this way.
         """
         rows = serialize_partition(self.dataset.features,
                                    self.dataset.targets)
         certificate = issue_certificate(
-            self.wallet.key, spec.workload_id, executor_address, rows,
+            self.wallet.key, workload_id, executor_address, rows,
             issued_at=issued_at,
         )
         envelope = Enclave.encrypt_for_enclave(
             enclave_key, self.wallet.key, self.partition_payload(), rng
         )
         return envelope, certificate
+
+    def prepare_submission(self, spec: WorkloadSpec, executor_address: str,
+                           enclave_key: PublicKey, issued_at: float,
+                           rng: np.random.Generator
+                           ) -> tuple[Envelope, ParticipationCertificate]:
+        """Spec-based wrapper over :meth:`prepare_submission_for`."""
+        return self.prepare_submission_for(
+            spec.workload_id, executor_address, enclave_key,
+            issued_at=issued_at, rng=rng,
+        )
 
 
 @dataclass
@@ -171,39 +182,66 @@ class ExecutorActor:
             entry_point=enclave_entry_point,
         )
 
+    def launch_enclave_for(self, workload_id: str,
+                           code: EnclaveCode) -> Enclave:
+        """Launch (or return) the enclave for one workload by id + code.
+
+        This is the kind-agnostic primitive both ML-training and aggregate
+        workloads use; the spec-based helpers below delegate to it.
+        """
+        if workload_id not in self.enclaves:
+            self.enclaves[workload_id] = self.platform.launch(code)
+            self.providers_served[workload_id] = []
+        return self.enclaves[workload_id]
+
     def launch_enclave(self, spec: WorkloadSpec) -> Enclave:
-        """Launch (or return) the enclave for one workload."""
-        if spec.workload_id not in self.enclaves:
-            self.enclaves[spec.workload_id] = self.platform.launch(
-                self.code_for(spec)
-            )
-            self.providers_served[spec.workload_id] = []
-        return self.enclaves[spec.workload_id]
+        """Launch (or return) the enclave for one ML workload."""
+        return self.launch_enclave_for(spec.workload_id, self.code_for(spec))
+
+    def quote_for_workload(self, workload_id: str, code: EnclaveCode) -> Quote:
+        """Attestation quote for an arbitrary workload's enclave."""
+        return AttestationService.produce_quote(
+            self.launch_enclave_for(workload_id, code)
+        )
 
     def quote_for(self, spec: WorkloadSpec) -> Quote:
         """Produce the attestation quote providers verify before sending."""
-        return AttestationService.produce_quote(self.launch_enclave(spec))
+        return self.quote_for_workload(spec.workload_id, self.code_for(spec))
+
+    def accept_data_for(self, workload_id: str, code: EnclaveCode,
+                        provider_address: str, envelope: Envelope,
+                        provider_key: PublicKey) -> None:
+        """Provision one provider's encrypted partition into the enclave."""
+        enclave = self.launch_enclave_for(workload_id, code)
+        enclave.provision_input(
+            f"provider:{provider_address}", envelope, provider_key
+        )
+        self.providers_served[workload_id].append(provider_address)
 
     def accept_data(self, spec: WorkloadSpec, provider_address: str,
                     envelope: Envelope,
                     provider_key: PublicKey) -> None:
-        """Provision one provider's encrypted partition into the enclave."""
-        enclave = self.launch_enclave(spec)
-        enclave.provision_input(
-            f"provider:{provider_address}", envelope, provider_key
-        )
-        self.providers_served[spec.workload_id].append(provider_address)
+        """Spec-based wrapper over :meth:`accept_data_for`."""
+        self.accept_data_for(spec.workload_id, self.code_for(spec),
+                             provider_address, envelope, provider_key)
 
-    def execute(self, spec: WorkloadSpec, training_seed: int) -> dict:
-        """Run the measured training code and return its (plain) output.
+    def execute_for(self, workload_id: str, code: EnclaveCode,
+                    **run_kwargs: object) -> dict:
+        """Run the measured enclave code and return its (plain) output.
 
         In the real deployment the output would stay encrypted end-to-end;
         the orchestration layer treats this dict as enclave output and only
         publishes its hash on-chain.
         """
-        enclave = self.launch_enclave(spec)
-        enclave.run(spec_dict=spec.to_dict(), training_seed=training_seed)
+        enclave = self.launch_enclave_for(workload_id, code)
+        enclave.run(**run_kwargs)
         return enclave.extract_output()
+
+    def execute(self, spec: WorkloadSpec, training_seed: int) -> dict:
+        """Run the measured training code for one ML workload."""
+        return self.execute_for(spec.workload_id, self.code_for(spec),
+                                spec_dict=spec.to_dict(),
+                                training_seed=training_seed)
 
 
 def result_hash_of(params: np.ndarray, weights_bps: dict[str, int]) -> str:

@@ -12,8 +12,10 @@ without being detected".  Two mechanisms enforce this in PDS2:
    result or the rewards.
 
 This module provides the attack harness used by tests and the E15 fault
-bench: adversarial executor behaviors that plug into a normal
-:class:`~repro.core.marketplace.Marketplace` run.
+bench.  It plugs into the lifecycle engine as a *phase interceptor*: the
+session runs every phase honestly up to aggregation, then the intercepted
+settle phase casts one vote per executor according to its assigned
+behavior — no marketplace internals are duplicated or reached into.
 """
 
 from __future__ import annotations
@@ -21,10 +23,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.chain.blockchain import Blockchain
-from repro.core.actors import ExecutorActor, result_hash_of
+from repro.core.lifecycle import (
+    PHASE_SETTLE,
+    LifecyclePhase,
+    MLTrainingKind,
+    SettlePhase,
+    WorkloadSession,
+)
 from repro.core.marketplace import Marketplace, WorkloadRunReport
 from repro.core.workload import WorkloadSpec
 from repro.errors import MarketplaceError
@@ -52,14 +58,50 @@ class AdversarialOutcome:
     report: WorkloadRunReport | None = None
 
 
+def adversarial_settle_interceptor(behaviors: list["ExecutorBehavior"]):
+    """Build a settle-phase interceptor casting one vote per behavior.
+
+    The default settle phase has the first ``required_confirmations``
+    active executors vote the honest (hash, weights) pair; this replacement
+    lets *every* active executor vote according to its assigned behavior,
+    then reuses the phase's own :meth:`~SettlePhase.finalize` tail (mine,
+    state check, payout accounting).
+    """
+
+    def intercept(session: WorkloadSession, phase: LifecyclePhase) -> None:
+        assert isinstance(phase, SettlePhase)
+        ctx = session.ctx
+        for executor, behavior in zip(ctx.executors, behaviors):
+            if executor not in ctx.active_executors:
+                continue
+            if behavior is ExecutorBehavior.HONEST:
+                session.cast_vote(executor, ctx.result_hash, ctx.weights_bps)
+            elif behavior is ExecutorBehavior.WRONG_RESULT:
+                session.cast_vote(executor, "ff" * 32, ctx.weights_bps)
+            elif behavior is ExecutorBehavior.SELF_DEALING:
+                # Route everything to one (possibly sybil) provider the
+                # attacker controls — the contract only accepts registered
+                # participants, so the crony must be a participant to even
+                # be a valid key.
+                corrupt = dict.fromkeys(ctx.weights_bps, 0)
+                victim = sorted(corrupt)[0]
+                corrupt[victim] = BPS
+                session.cast_vote(executor, ctx.result_hash, corrupt)
+            # SILENT: do nothing.
+        phase.finalize(session)
+
+    return intercept
+
+
 def run_with_adversaries(market: Marketplace, consumer, spec: WorkloadSpec,
                          behaviors: list[ExecutorBehavior],
                          crony_address: str | None = None,
                          ) -> AdversarialOutcome:
     """Run the Fig. 2 lifecycle with per-executor behaviors.
 
-    Mirrors :meth:`Marketplace.run_workload` up to result submission, then
-    lets each executor vote according to its assigned behavior.  The
+    Drives the same :class:`~repro.core.lifecycle.WorkloadSession` engine
+    as :meth:`Marketplace.run_workload`, with the settle phase intercepted
+    so each executor votes according to its assigned behavior.  The
     function never raises on adversarial failure; it reports what the
     contract did.
     """
@@ -69,98 +111,29 @@ def run_with_adversaries(market: Marketplace, consumer, spec: WorkloadSpec,
     if crony_address is None:
         crony_address = "0x" + "c0" * 20
 
-    workload_address = market.submit_workload(consumer, spec)
-    participants = market.matching_providers(spec)
-    if len(participants) < spec.min_providers:
-        raise MarketplaceError("not enough providers for the attack harness")
-
-    code = ExecutorActor.code_for(spec)
-    for executor in executors:
-        executor.launch_enclave(spec)
-        executor.wallet.call(workload_address, "register_executor",
-                             claimed_measurement=code.measurement.hex())
-    market._mine()
-
-    onchain_measurement = consumer.wallet.view(workload_address,
-                                               "code_measurement")
-    assignments = {executor.address: [] for executor in executors}
-    from repro.utils.rng import derive_rng
-
-    for index, provider in enumerate(participants):
-        executor = executors[index % len(executors)]
-        quote = executor.quote_for(spec)
-        enclave_key = market.attestation.verify(
-            quote, expected_measurement=bytes.fromhex(onchain_measurement)
-        )
-        envelope, certificate = provider.prepare_submission(
-            spec, executor.address, enclave_key,
-            issued_at=market._tick(),
-            rng=derive_rng(market.seed, f"adv-submit-{provider.name}"),
-        )
-        executor.accept_data(spec, provider.address, envelope,
-                             provider.wallet.key.public_key)
-        executor.wallet.call(
-            workload_address, "submit_participation",
-            provider=provider.address,
-            certificate_hash=certificate.certificate_hash.hex(),
-            data_root=certificate.data_root.hex(),
-            item_count=certificate.item_count,
-        )
-        assignments[executor.address].append(provider)
-    market._mine()
-    consumer.wallet.call(workload_address, "start_execution")
-    market._mine()
-
-    # Honest computation happens in every enclave that received data.
-    active = [e for e in executors if assignments[e.address]]
-    outputs = [e.execute(spec, training_seed=market.seed) for e in active]
-    final_params, weights_bps, _ = Marketplace._aggregate_outputs(
-        spec, outputs
+    session = market.session_for(
+        consumer, MLTrainingKind(spec),
+        interceptors={PHASE_SETTLE: adversarial_settle_interceptor(behaviors)},
+        require_completion=False,
+        audit=False,
     )
-    honest_hash = result_hash_of(final_params, weights_bps)
+    report = session.run()
+    ctx = session.ctx
 
-    for executor, behavior in zip(executors, behaviors):
-        if executor not in active and behavior is not ExecutorBehavior.SILENT:
-            continue
-        if behavior is ExecutorBehavior.HONEST:
-            executor.wallet.call(workload_address, "submit_result",
-                                 result_hash=honest_hash,
-                                 provider_weights_bps=weights_bps)
-        elif behavior is ExecutorBehavior.WRONG_RESULT:
-            executor.wallet.call(workload_address, "submit_result",
-                                 result_hash="ff" * 32,
-                                 provider_weights_bps=weights_bps)
-        elif behavior is ExecutorBehavior.SELF_DEALING:
-            # Route everything to one (possibly sybil) provider the attacker
-            # controls — the contract only accepts registered participants,
-            # so the crony must be a participant to even be a valid key.
-            corrupt = dict.fromkeys(weights_bps, 0)
-            victim = sorted(corrupt)[0]
-            corrupt[victim] = BPS
-            executor.wallet.call(workload_address, "submit_result",
-                                 result_hash=honest_hash,
-                                 provider_weights_bps=corrupt)
-        # SILENT: do nothing.
-    market._mine()
-
-    state = consumer.wallet.view(workload_address, "state")
-    paid = sum(
-        int(log.data["amount"])
-        for _, log in market.chain.events(name="RewardPaid",
-                                          address=workload_address)
-    )
     crony_paid = sum(
         int(log.data["amount"])
         for _, log in market.chain.events(name="RewardPaid",
-                                          address=workload_address)
+                                          address=ctx.workload_address)
         if log.data["recipient"] == crony_address
     )
+    completed = ctx.final_state == "complete"
     return AdversarialOutcome(
-        completed=state == "complete",
-        honest_result_hash=honest_hash,
-        final_state=state,
-        paid_total=paid,
+        completed=completed,
+        honest_result_hash=ctx.result_hash,
+        final_state=ctx.final_state,
+        paid_total=sum(ctx.payouts.values()),
         crony_payout=crony_paid,
+        report=report if completed else None,
     )
 
 

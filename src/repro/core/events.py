@@ -1,0 +1,251 @@
+"""Structured lifecycle events and the marketplace event bus.
+
+Every observable step of a workload lifecycle — phase transitions, block
+mining, attestation checks, enclave launches, data submissions, payouts —
+is published as a frozen :class:`LifecycleEvent` on the marketplace
+:class:`EventBus`.  Sinks are pluggable: the default in-memory
+:class:`RingBufferSink` backs interactive queries and tests, a
+:class:`JSONLSink` persists a run for ``python -m repro trace``, and a
+:class:`MetricsSink` keeps cheap counters for benchmarks.
+
+The event trail is the off-chain half of the audit story (DataBright/D2M
+structure their markets the same way): each event records the session id,
+lifecycle phase, both clocks (wall and simulated), the gas consumed since
+the previous chain event, and the acting address, so an auditor can replay
+a session and cross-check it against the on-chain history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One observable step of a workload lifecycle.
+
+    ``gas_delta`` is zero for purely off-chain steps; for chain events it
+    is the gas consumed by the step.  ``block_height`` is ``-1`` when the
+    event is not tied to a specific block.
+    """
+
+    session_id: str
+    phase: str
+    name: str
+    sequence: int
+    wall_time: float
+    sim_clock: float
+    gas_delta: int = 0
+    block_height: int = -1
+    actor: str = ""
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze the payload so a published event can never mutate.
+        object.__setattr__(self, "data", MappingProxyType(dict(self.data)))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (the JSONL record format)."""
+        return {
+            "session_id": self.session_id,
+            "phase": self.phase,
+            "name": self.name,
+            "sequence": self.sequence,
+            "wall_time": self.wall_time,
+            "sim_clock": self.sim_clock,
+            "gas_delta": self.gas_delta,
+            "block_height": self.block_height,
+            "actor": self.actor,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "LifecycleEvent":
+        """Inverse of :meth:`to_dict` (used by the trace replayer)."""
+        return cls(
+            session_id=record["session_id"],
+            phase=record["phase"],
+            name=record["name"],
+            sequence=int(record["sequence"]),
+            wall_time=float(record["wall_time"]),
+            sim_clock=float(record["sim_clock"]),
+            gas_delta=int(record.get("gas_delta", 0)),
+            block_height=int(record.get("block_height", -1)),
+            actor=record.get("actor", ""),
+            data=record.get("data", {}),
+        )
+
+
+class EventSink(Protocol):
+    """Anything that can receive published lifecycle events."""
+
+    def emit(self, event: LifecycleEvent) -> None:
+        ...
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory (the default sink)."""
+
+    def __init__(self, capacity: int = 10_000):
+        self._buffer: deque[LifecycleEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: LifecycleEvent) -> None:
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[LifecycleEvent]:
+        return iter(tuple(self._buffer))
+
+    @property
+    def events(self) -> tuple[LifecycleEvent, ...]:
+        return tuple(self._buffer)
+
+    def for_session(self, session_id: str) -> tuple[LifecycleEvent, ...]:
+        """All buffered events of one session, in publication order."""
+        return tuple(e for e in self._buffer if e.session_id == session_id)
+
+    def session_ids(self) -> list[str]:
+        """Distinct session ids in first-seen order (excluding platform events)."""
+        seen: dict[str, None] = {}
+        for event in self._buffer:
+            if event.session_id:
+                seen.setdefault(event.session_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JSONLSink:
+    """Append every event as one JSON line to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def emit(self, event: LifecycleEvent) -> None:
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl_events(path: str) -> list[LifecycleEvent]:
+    """Load a JSONL trace file back into events (the ``trace`` command)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(LifecycleEvent.from_dict(json.loads(line)))
+    return events
+
+
+class MetricsSink:
+    """Cheap counters over the event stream (benchmark/observability sink)."""
+
+    def __init__(self) -> None:
+        self.events_by_name: Counter[str] = Counter()
+        self.events_by_phase: Counter[str] = Counter()
+        self.gas_by_phase: Counter[str] = Counter()
+        self.total_events = 0
+        self.total_gas = 0
+
+    def emit(self, event: LifecycleEvent) -> None:
+        self.total_events += 1
+        self.events_by_name[event.name] += 1
+        self.events_by_phase[event.phase] += 1
+        if event.gas_delta:
+            self.gas_by_phase[event.phase] += event.gas_delta
+            self.total_gas += event.gas_delta
+
+
+class EventBus:
+    """Publish/subscribe fan-out for lifecycle events.
+
+    The bus assigns the global sequence number and the wall clock; callers
+    supply everything else.  Sink failures propagate — a broken sink is a
+    configuration error, not something to swallow silently.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 sinks: Iterable[EventSink] | None = None):
+        self._clock = clock
+        self._sinks: list[EventSink] = list(sinks or ())
+        self._sequence = 0
+
+    def attach(self, sink: EventSink) -> EventSink:
+        """Register a sink; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple[EventSink, ...]:
+        return tuple(self._sinks)
+
+    def emit(self, *, session_id: str, phase: str, name: str,
+             sim_clock: float, gas_delta: int = 0, block_height: int = -1,
+             actor: str = "", data: Mapping[str, Any] | None = None,
+             ) -> LifecycleEvent:
+        """Build, stamp, and fan out one event; returns it."""
+        self._sequence += 1
+        event = LifecycleEvent(
+            session_id=session_id,
+            phase=phase,
+            name=name,
+            sequence=self._sequence,
+            wall_time=self._clock(),
+            sim_clock=sim_clock,
+            gas_delta=gas_delta,
+            block_height=block_height,
+            actor=actor,
+            data=data or {},
+        )
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+
+def phase_wall_times(events: Iterable[LifecycleEvent]) -> dict[str, float]:
+    """Wall-clock seconds spent per phase, from started/completed pairs."""
+    started: dict[str, float] = {}
+    durations: dict[str, float] = {}
+    for event in events:
+        if event.name == "phase.started":
+            started[event.phase] = event.wall_time
+        elif event.name in ("phase.completed", "phase.failed"):
+            begin = started.pop(event.phase, None)
+            if begin is not None:
+                durations[event.phase] = (
+                    durations.get(event.phase, 0.0)
+                    + (event.wall_time - begin)
+                )
+    return durations
+
+
+def phase_gas_totals(events: Iterable[LifecycleEvent]) -> dict[str, int]:
+    """Gas consumed per phase, from the events' gas deltas."""
+    totals: dict[str, int] = {}
+    for event in events:
+        if event.gas_delta:
+            totals[event.phase] = totals.get(event.phase, 0) + event.gas_delta
+    return totals

@@ -1,0 +1,795 @@
+"""The workload lifecycle engine: paper Fig. 2 as an explicit state machine.
+
+One :class:`WorkloadSession` drives a workload through nine typed phases —
+
+    deploy → match → register_executors → attest_and_submit
+           → start_execution → execute → aggregate → settle → audit
+
+— with a declared transition table (:data:`TRANSITIONS`), per-phase failure
+classes (:class:`repro.errors.LifecycleError` subclasses carrying a session
+snapshot), and a structured event trail published on the marketplace
+:class:`~repro.core.events.EventBus`.
+
+What *kind* of workload runs is a strategy object (:class:`WorkloadKind`):
+ML training (:class:`MLTrainingKind`) and statistical aggregates
+(:class:`AggregateWorkloadKind`) differ only in the enclave entry point,
+the way enclave outputs are combined, and the shape of the final result.
+``Marketplace.run_workload`` and ``Marketplace.run_aggregate_workload``
+are thin drivers over this one engine.
+
+Phases are individually testable objects; a phase can also be *intercepted*
+(replaced by a callable) — the adversary harness uses this to substitute
+malicious result votes for the honest settle step without reaching into
+marketplace internals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.actors import ConsumerActor, ExecutorActor, ProviderActor, result_hash_of
+from repro.core.aggregates import (
+    AggregateResult,
+    AggregateSpec,
+    aggregate_enclave_entry_point,
+    combine_aggregate_outputs,
+)
+from repro.core.events import LifecycleEvent
+from repro.core.workload import WorkloadSpec
+from repro.crypto.hashing import hash_object
+from repro.errors import (
+    AggregationFailure,
+    AuditFailure,
+    DeployFailure,
+    ExecutionFailure,
+    LifecycleError,
+    MatchFailure,
+    PDS2Error,
+    RegistrationFailure,
+    SettlementFailure,
+    StartFailure,
+    SubmissionFailure,
+    TransitionError,
+)
+from repro.governance.audit import AuditReport, audit_workload, trail_covers_chain
+from repro.governance.contracts import STATE_COMPLETE
+from repro.rewards.distribution import normalize_weights_bps
+from repro.tee.enclave import EnclaveCode
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.marketplace import Marketplace
+
+
+# ---------------------------------------------------------------------------
+# Phase state machine
+# ---------------------------------------------------------------------------
+
+STATE_CREATED = "created"
+PHASE_DEPLOY = "deploy"
+PHASE_MATCH = "match"
+PHASE_REGISTER = "register_executors"
+PHASE_SUBMIT = "attest_and_submit"
+PHASE_START = "start_execution"
+PHASE_EXECUTE = "execute"
+PHASE_AGGREGATE = "aggregate"
+PHASE_SETTLE = "settle"
+PHASE_AUDIT = "audit"
+TERMINAL_COMPLETE = "complete"
+TERMINAL_FAILED = "failed"
+
+#: The full transition table.  Every phase may fail; terminal states have no
+#: outgoing transitions (tests assert this closure property).
+TRANSITIONS: dict[str, tuple[str, ...]] = {
+    STATE_CREATED: (PHASE_DEPLOY, TERMINAL_FAILED),
+    PHASE_DEPLOY: (PHASE_MATCH, TERMINAL_FAILED),
+    PHASE_MATCH: (PHASE_REGISTER, TERMINAL_FAILED),
+    PHASE_REGISTER: (PHASE_SUBMIT, TERMINAL_FAILED),
+    PHASE_SUBMIT: (PHASE_START, TERMINAL_FAILED),
+    PHASE_START: (PHASE_EXECUTE, TERMINAL_FAILED),
+    PHASE_EXECUTE: (PHASE_AGGREGATE, TERMINAL_FAILED),
+    PHASE_AGGREGATE: (PHASE_SETTLE, TERMINAL_FAILED),
+    PHASE_SETTLE: (PHASE_AUDIT, TERMINAL_FAILED),
+    PHASE_AUDIT: (TERMINAL_COMPLETE, TERMINAL_FAILED),
+    TERMINAL_COMPLETE: (),
+    TERMINAL_FAILED: (),
+}
+
+TERMINAL_STATES = (TERMINAL_COMPLETE, TERMINAL_FAILED)
+
+
+# ---------------------------------------------------------------------------
+# Workload kinds: the strategy objects parameterizing the engine
+# ---------------------------------------------------------------------------
+
+
+class WorkloadKind(ABC):
+    """What differs between workload classes riding the same lifecycle."""
+
+    workload_id: str
+    reward_pool: int
+    min_providers: int
+    min_samples: int
+    infra_share_bps: int
+    required_confirmations: int
+
+    @property
+    @abstractmethod
+    def code(self) -> EnclaveCode:
+        """The measured enclave code unit for this workload."""
+
+    @abstractmethod
+    def spec_hash(self) -> str:
+        """Canonical hash recorded on-chain at deployment."""
+
+    @abstractmethod
+    def match(self, market: "Marketplace") -> list[ProviderActor]:
+        """Providers whose data and policy admit this workload."""
+
+    @abstractmethod
+    def run_kwargs(self, market: "Marketplace") -> dict:
+        """Keyword arguments for the enclave entry point."""
+
+    @abstractmethod
+    def combine(self, session: "WorkloadSession", outputs: list[dict],
+                ) -> tuple[np.ndarray, dict[str, int], dict]:
+        """All-reduce enclave outputs.
+
+        Returns ``(result_vector, weights_bps, extra)`` where the vector is
+        what executors hash and vote on, the weights are the provider payout
+        shares in basis points, and ``extra`` carries kind-specific fields
+        (achieved epsilon, the combined statistic, sample counts).
+        """
+
+    @abstractmethod
+    def build_result(self, session: "WorkloadSession") -> Any:
+        """Shape the session context into this kind's public return value."""
+
+    def submission_rng_label(self, provider: ProviderActor) -> str:
+        """Derivation label for the provider's envelope-encryption rng."""
+        return f"submit-{provider.name}"
+
+    def contract_args(self) -> dict:
+        """Deployment arguments of the on-chain workload contract."""
+        return {
+            "spec_hash": self.spec_hash(),
+            "code_measurement": self.code.measurement.hex(),
+            "min_providers": self.min_providers,
+            "min_samples": self.min_samples,
+            "infra_share_bps": self.infra_share_bps,
+            "required_confirmations": self.required_confirmations,
+        }
+
+
+def aggregate_training_outputs(outputs: list[dict],
+                               ) -> tuple[np.ndarray, dict[str, float],
+                                          Optional[float]]:
+    """Decentralized aggregation of ML enclave outputs.
+
+    Parameters are averaged weighted by trained sample counts (the
+    deterministic fixed point the executors' peer-to-peer averaging
+    converges to); raw payout weights come from certified sample counts or
+    from enclave-computed Shapley fractions scaled by each executor's data
+    share.  Returns ``(final_params, raw_weights, achieved_epsilon)``; the
+    raw weights are normalized to basis points by the caller.
+    """
+    if not outputs:
+        raise AggregationFailure("no enclave outputs to aggregate")
+    weights = np.array([out["trained_samples"] for out in outputs],
+                       dtype=float)
+    stacked = np.stack([
+        np.asarray(out["params"], dtype=float) for out in outputs
+    ])
+    final_params = (weights / weights.sum()) @ stacked
+
+    raw: dict[str, float] = {}
+    total_samples = float(sum(out["trained_samples"] for out in outputs))
+    for out in outputs:
+        executor_share = out["trained_samples"] / total_samples
+        if "shapley_fractions" in out:
+            for provider, fraction in out["shapley_fractions"].items():
+                raw[provider] = (raw.get(provider, 0.0)
+                                 + fraction * executor_share)
+        else:
+            executor_total = float(sum(out["sample_counts"].values()))
+            for provider, count in out["sample_counts"].items():
+                raw[provider] = (raw.get(provider, 0.0)
+                                 + (count / executor_total)
+                                 * executor_share)
+    epsilons = [out.get("achieved_epsilon") for out in outputs]
+    known = [e for e in epsilons if e is not None]
+    achieved = max(known) if known else None
+    return final_params, raw, achieved
+
+
+class MLTrainingKind(WorkloadKind):
+    """The paper's primary workload class: decentralized model training."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.workload_id = spec.workload_id
+        self.reward_pool = spec.reward_pool
+        self.min_providers = spec.min_providers
+        self.min_samples = spec.min_samples
+        self.infra_share_bps = spec.infra_share_bps
+        self.required_confirmations = spec.required_confirmations
+        self._code = ExecutorActor.code_for(spec)
+
+    @property
+    def code(self) -> EnclaveCode:
+        return self._code
+
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash
+
+    def match(self, market: "Marketplace") -> list[ProviderActor]:
+        return market.matching_providers(self.spec)
+
+    def run_kwargs(self, market: "Marketplace") -> dict:
+        return {"spec_dict": self.spec.to_dict(),
+                "training_seed": market.seed}
+
+    def combine(self, session: "WorkloadSession", outputs: list[dict],
+                ) -> tuple[np.ndarray, dict[str, int], dict]:
+        final_params, raw, achieved = aggregate_training_outputs(outputs)
+        return final_params, normalize_weights_bps(raw), {
+            "achieved_epsilon": achieved,
+        }
+
+    def build_result(self, session: "WorkloadSession") -> "Any":
+        from repro.core.marketplace import WorkloadRunReport
+
+        ctx = session.ctx
+        consumer_score = None
+        if session.consumer.validation is not None:
+            consumer_score = session.consumer.evaluate_result(
+                self.spec, ctx.result_vector
+            )
+        return WorkloadRunReport(
+            workload_address=ctx.workload_address,
+            spec=self.spec,
+            participants=[p.address for p in ctx.participants],
+            executors=[e.address for e in ctx.executors],
+            active_executors=[e.address for e in ctx.active_executors],
+            final_params=ctx.result_vector,
+            result_hash=ctx.result_hash,
+            consumer_score=consumer_score,
+            payouts=dict(ctx.payouts),
+            weights_bps=dict(ctx.weights_bps),
+            gas_used=session.gas_used,
+            blocks_mined=session.blocks_mined,
+            achieved_epsilon=ctx.extra.get("achieved_epsilon"),
+            audit=ctx.audit,
+            session_id=session.session_id,
+        )
+
+
+class AggregateWorkloadKind(WorkloadKind):
+    """The other workload class: privacy-preserving statistical aggregates."""
+
+    def __init__(self, workload_id: str, requirement: Any,
+                 agg_spec: AggregateSpec, reward_pool: int = 100_000,
+                 min_providers: int = 1, min_samples: int = 1,
+                 infra_share_bps: int = 1000,
+                 required_confirmations: int = 1):
+        self.workload_id = workload_id
+        self.requirement = requirement
+        self.agg_spec = agg_spec
+        self.spec_dict = agg_spec.to_dict()
+        self.reward_pool = reward_pool
+        self.min_providers = min_providers
+        self.min_samples = min_samples
+        self.infra_share_bps = infra_share_bps
+        self.required_confirmations = required_confirmations
+        self._code = EnclaveCode(
+            name=f"pds2-aggregate-{workload_id}",
+            version=hash_object(self.spec_dict).hex(),
+            entry_point=aggregate_enclave_entry_point,
+        )
+
+    @property
+    def code(self) -> EnclaveCode:
+        return self._code
+
+    def spec_hash(self) -> str:
+        return hash_object(self.spec_dict).hex()
+
+    def match(self, market: "Marketplace") -> list[ProviderActor]:
+        return [
+            provider for provider in market.providers
+            if market.catalog.match_for_owner(self.requirement,
+                                              provider.address)
+        ]
+
+    def submission_rng_label(self, provider: ProviderActor) -> str:
+        return f"agg-{self.workload_id}-{provider.name}"
+
+    def run_kwargs(self, market: "Marketplace") -> dict:
+        return {"agg_spec": self.spec_dict, "noise_seed": market.seed}
+
+    def combine(self, session: "WorkloadSession", outputs: list[dict],
+                ) -> tuple[np.ndarray, dict[str, int], dict]:
+        sample_counts: dict[str, float] = {}
+        for output in outputs:
+            for provider, count in output["sample_counts"].items():
+                sample_counts[provider] = (
+                    sample_counts.get(provider, 0) + count
+                )
+        combined = combine_aggregate_outputs(self.agg_spec.kind, outputs)
+        vector = np.atleast_1d(np.asarray(combined, dtype=float))
+        return vector, normalize_weights_bps(sample_counts), {
+            "combined": combined,
+            "sample_counts": sample_counts,
+        }
+
+    def build_result(self, session: "WorkloadSession"
+                     ) -> tuple[AggregateResult, AuditReport, str]:
+        ctx = session.ctx
+        sample_counts = ctx.extra["sample_counts"]
+        result = AggregateResult(
+            statistic=ctx.extra["combined"],
+            kind=self.agg_spec.kind,
+            dp_epsilon=self.agg_spec.dp_epsilon,
+            total_samples=int(sum(sample_counts.values())),
+            sample_counts={k: int(v) for k, v in sample_counts.items()},
+        )
+        return result, ctx.audit, ctx.workload_address
+
+
+# ---------------------------------------------------------------------------
+# Session context and the session itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionContext:
+    """Mutable state a session accumulates as it moves through the phases."""
+
+    executors: list[ExecutorActor] = field(default_factory=list)
+    workload_address: str = ""
+    participants: list[ProviderActor] = field(default_factory=list)
+    assignments: dict[str, list[ProviderActor]] = field(default_factory=dict)
+    active_executors: list[ExecutorActor] = field(default_factory=list)
+    outputs: list[dict] = field(default_factory=list)
+    result_vector: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+    weights_bps: dict[str, int] = field(default_factory=dict)
+    result_hash: str = ""
+    extra: dict = field(default_factory=dict)
+    final_state: str = ""
+    payouts: dict[str, int] = field(default_factory=dict)
+    audit: Optional[AuditReport] = None
+
+
+#: An interceptor fully replaces one phase's execution.  It receives the
+#: session and the phase object it displaced (whose helpers it may reuse).
+PhaseInterceptor = Callable[["WorkloadSession", "LifecyclePhase"], None]
+
+
+class WorkloadSession:
+    """One workload's trip through the lifecycle state machine."""
+
+    def __init__(self, market: "Marketplace", consumer: ConsumerActor,
+                 kind: WorkloadKind,
+                 executors: Optional[list[ExecutorActor]] = None,
+                 interceptors: Optional[Mapping[str, PhaseInterceptor]] = None,
+                 require_completion: bool = True,
+                 audit: bool = True):
+        self.market = market
+        self.consumer = consumer
+        self.kind = kind
+        self.session_id = market.next_session_id(kind.workload_id)
+        self.state = STATE_CREATED
+        self.interceptors: dict[str, PhaseInterceptor] = dict(
+            interceptors or {}
+        )
+        self.require_completion = require_completion
+        self.audit_enabled = audit
+        self.trail: list[LifecycleEvent] = []
+        self.ctx = SessionContext(executors=list(
+            executors if executors is not None else market.executors
+        ))
+        self._gas_start = market.chain.total_gas_used
+        self._blocks_start = market.chain.height
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def gas_used(self) -> int:
+        """Session gas, derived from the event trail's chain deltas."""
+        return sum(event.gas_delta for event in self.trail)
+
+    @property
+    def blocks_mined(self) -> int:
+        return sum(
+            1 for event in self.trail if event.name == "chain.block_mined"
+        )
+
+    def emit(self, name: str, *, gas_delta: int = 0, block_height: int = -1,
+             actor: str = "", **data: Any) -> LifecycleEvent:
+        """Publish one event attributed to this session's current phase."""
+        return self.market.publish_event(
+            name, session=self, gas_delta=gas_delta,
+            block_height=block_height, actor=actor, data=data,
+        )
+
+    def snapshot(self) -> dict:
+        """Where the session stands right now (attached to failures)."""
+        return {
+            "session_id": self.session_id,
+            "workload_id": self.kind.workload_id,
+            "state": self.state,
+            "workload_address": self.ctx.workload_address,
+            "participants": [p.address for p in self.ctx.participants],
+            "executors": [e.address for e in self.ctx.executors],
+            "final_state": self.ctx.final_state,
+            "gas_used": self.gas_used,
+            "blocks_mined": self.blocks_mined,
+            "events": len(self.trail),
+        }
+
+    # -- the state machine --------------------------------------------------
+
+    def advance(self, next_state: str) -> None:
+        """Move to ``next_state``, enforcing the transition table."""
+        allowed = TRANSITIONS[self.state]
+        if next_state not in allowed:
+            raise TransitionError(
+                f"illegal transition {self.state!r} -> {next_state!r} "
+                f"(allowed: {allowed})",
+                snapshot=self.snapshot(),
+            )
+        self.state = next_state
+
+    def run(self) -> Any:
+        """Drive every phase in order; returns the kind-shaped result."""
+        with self.market.active_session(self):
+            self.emit("session.started",
+                      workload_id=self.kind.workload_id,
+                      kind=type(self.kind).__name__)
+            for phase in LIFECYCLE_PHASES:
+                self._run_phase(phase)
+            self.advance(TERMINAL_COMPLETE)
+            self.emit("session.completed", gas_used=self.gas_used,
+                      blocks_mined=self.blocks_mined)
+        return self.kind.build_result(self)
+
+    def _run_phase(self, phase: "LifecyclePhase") -> None:
+        self.advance(phase.name)
+        gas_before = self.market.chain.total_gas_used
+        self.emit("phase.started")
+        try:
+            interceptor = self.interceptors.get(phase.name)
+            if interceptor is not None:
+                interceptor(self, phase)
+            else:
+                phase.run(self)
+        except LifecycleError as err:
+            if not err.snapshot:
+                err.snapshot = self.snapshot()
+            self._fail(phase, err)
+            raise
+        except PDS2Error as err:
+            failure = phase.failure_class(str(err), snapshot=self.snapshot())
+            self._fail(phase, failure)
+            raise failure from err
+        self.emit("phase.completed",
+                  gas_used=self.market.chain.total_gas_used - gas_before)
+
+    def _fail(self, phase: "LifecyclePhase", error: LifecycleError) -> None:
+        self.emit("phase.failed", error=type(error).__name__,
+                  message=str(error))
+        self.advance(TERMINAL_FAILED)
+        self.emit("session.failed", phase=phase.name)
+
+    # -- helpers shared between the honest engine and interceptors ----------
+
+    def cast_vote(self, executor: ExecutorActor, result_hash: str,
+                  weights_bps: dict[str, int]) -> None:
+        """One executor submits one (result hash, weights) vote on-chain."""
+        executor.wallet.call(
+            self.ctx.workload_address, "submit_result",
+            result_hash=result_hash,
+            provider_weights_bps=weights_bps,
+        )
+        self.emit("settle.vote_cast", actor=executor.address,
+                  result_hash=result_hash)
+
+    def read_state(self) -> str:
+        """The workload contract's current lifecycle state (free view)."""
+        return self.consumer.wallet.view(self.ctx.workload_address, "state")
+
+    def collect_payouts(self) -> dict[str, int]:
+        """Sum the contract's RewardPaid events per recipient."""
+        payouts: dict[str, int] = {}
+        for _, log in self.market.chain.events(
+            name="RewardPaid", address=self.ctx.workload_address
+        ):
+            payouts[log.data["recipient"]] = (
+                payouts.get(log.data["recipient"], 0)
+                + int(log.data["amount"])
+            )
+        return payouts
+
+
+# ---------------------------------------------------------------------------
+# The phases
+# ---------------------------------------------------------------------------
+
+
+class LifecyclePhase:
+    """One individually-testable lifecycle step."""
+
+    name: str = ""
+    failure_class: type[LifecycleError] = LifecycleError
+
+    def run(self, session: WorkloadSession) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<phase {self.name}>"
+
+
+class DeployPhase(LifecyclePhase):
+    """Fig. 2 step 1: validate the run and deploy the escrowed contract."""
+
+    name = PHASE_DEPLOY
+    failure_class = DeployFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        kind = session.kind
+        executors = session.ctx.executors
+        if not executors:
+            raise DeployFailure("no executors available",
+                                snapshot=session.snapshot())
+        if kind.required_confirmations > len(executors):
+            raise DeployFailure(
+                "spec requires more confirmations than executors exist",
+                snapshot=session.snapshot(),
+            )
+        # Deploy + mine through the session clock (unlike the bare
+        # ``deploy_and_mine`` default of head-timestamp + 1): every block a
+        # session seals must carry the ticking sim clock, or a run that
+        # fails right after deployment leaves the clock behind the head
+        # timestamp and the *next* session would mine a non-monotonic block.
+        deploy_tx = session.consumer.wallet.deploy(
+            "workload", value=kind.reward_pool, **kind.contract_args()
+        )
+        session.market._mine()
+        session.ctx.workload_address = (
+            session.consumer.wallet.deployed_address(deploy_tx)
+        )
+        session.emit("contract.deployed",
+                     actor=session.consumer.address,
+                     workload_address=session.ctx.workload_address,
+                     reward_pool=kind.reward_pool)
+
+
+class MatchPhase(LifecyclePhase):
+    """Fig. 2 step 2: storage-subsystem matching + provider consent."""
+
+    name = PHASE_MATCH
+    failure_class = MatchFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        participants = session.kind.match(session.market)
+        if len(participants) < session.kind.min_providers:
+            raise MatchFailure(
+                f"only {len(participants)} willing providers; "
+                f"spec requires {session.kind.min_providers}",
+                snapshot=session.snapshot(),
+            )
+        session.ctx.participants = participants
+        for provider in participants:
+            session.emit("match.provider_joined", actor=provider.address)
+        session.emit("match.completed", providers=len(participants))
+
+
+class RegisterExecutorsPhase(LifecyclePhase):
+    """Fig. 2 step 3: executors launch enclaves and register on-chain."""
+
+    name = PHASE_REGISTER
+    failure_class = RegistrationFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        kind = session.kind
+        for executor in session.ctx.executors:
+            executor.launch_enclave_for(kind.workload_id, kind.code)
+            executor.wallet.call(
+                session.ctx.workload_address, "register_executor",
+                claimed_measurement=kind.code.measurement.hex(),
+            )
+            session.emit("executor.registered", actor=executor.address)
+        session.market._mine()
+
+
+class AttestAndSubmitPhase(LifecyclePhase):
+    """Fig. 2 step 4: providers attest executors, send data + certificates."""
+
+    name = PHASE_SUBMIT
+    failure_class = SubmissionFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        market = session.market
+        kind = session.kind
+        ctx = session.ctx
+        onchain_measurement = session.consumer.wallet.view(
+            ctx.workload_address, "code_measurement"
+        )
+        expected = bytes.fromhex(onchain_measurement)
+        ctx.assignments = {
+            executor.address: [] for executor in ctx.executors
+        }
+        for index, provider in enumerate(ctx.participants):
+            executor = ctx.executors[index % len(ctx.executors)]
+            quote = executor.quote_for_workload(kind.workload_id, kind.code)
+            enclave_key = market.attestation.verify(
+                quote, expected_measurement=expected
+            )
+            envelope, certificate = provider.prepare_submission_for(
+                kind.workload_id, executor.address, enclave_key,
+                issued_at=market._tick(),
+                rng=derive_rng(market.seed,
+                               kind.submission_rng_label(provider)),
+            )
+            certificate.verify()
+            executor.accept_data_for(
+                kind.workload_id, kind.code, provider.address, envelope,
+                provider.wallet.key.public_key,
+            )
+            executor.wallet.call(
+                ctx.workload_address, "submit_participation",
+                provider=provider.address,
+                certificate_hash=certificate.certificate_hash.hex(),
+                data_root=certificate.data_root.hex(),
+                item_count=certificate.item_count,
+            )
+            ctx.assignments[executor.address].append(provider)
+            session.emit("storage.data_submitted", actor=provider.address,
+                         executor=executor.address,
+                         item_count=certificate.item_count)
+        market._mine()
+
+
+class StartExecutionPhase(LifecyclePhase):
+    """Fig. 2 step 5: gate execution on the consumer's preconditions."""
+
+    name = PHASE_START
+    failure_class = StartFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        session.consumer.wallet.call(
+            session.ctx.workload_address, "start_execution"
+        )
+        session.emit("execution.start_requested",
+                     actor=session.consumer.address)
+        session.market._mine()
+
+
+class ExecutePhase(LifecyclePhase):
+    """Fig. 2 step 6a: every enclave that received data executes."""
+
+    name = PHASE_EXECUTE
+    failure_class = ExecutionFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        kind = session.kind
+        ctx = session.ctx
+        ctx.active_executors = [
+            executor for executor in ctx.executors
+            if ctx.assignments.get(executor.address)
+        ]
+        run_kwargs = kind.run_kwargs(session.market)
+        for executor in ctx.active_executors:
+            output = executor.execute_for(kind.workload_id, kind.code,
+                                          **run_kwargs)
+            ctx.outputs.append(output)
+            session.emit("enclave.executed", actor=executor.address,
+                         providers=len(ctx.assignments[executor.address]))
+
+
+class AggregatePhase(LifecyclePhase):
+    """Fig. 2 step 6b: all-reduce outputs and agree on payout weights."""
+
+    name = PHASE_AGGREGATE
+    failure_class = AggregationFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        ctx = session.ctx
+        vector, weights_bps, extra = session.kind.combine(
+            session, ctx.outputs
+        )
+        ctx.result_vector = vector
+        ctx.weights_bps = weights_bps
+        ctx.extra = extra
+        ctx.result_hash = result_hash_of(vector, weights_bps)
+        session.emit("aggregate.completed", result_hash=ctx.result_hash,
+                     outputs=len(ctx.outputs))
+
+
+class SettlePhase(LifecyclePhase):
+    """Fig. 2 step 6c/7: quorum votes, contract payout, reward accounting.
+
+    The adversary harness intercepts this phase to cast malicious votes;
+    :meth:`finalize` is the shared tail both the honest path and the
+    interceptors run after voting.
+    """
+
+    name = PHASE_SETTLE
+    failure_class = SettlementFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        ctx = session.ctx
+        voters = ctx.active_executors[:session.kind.required_confirmations]
+        for executor in voters:
+            session.cast_vote(executor, ctx.result_hash, ctx.weights_bps)
+        self.finalize(session)
+
+    def finalize(self, session: WorkloadSession) -> None:
+        """Mine the votes, check completion, and account the payouts."""
+        ctx = session.ctx
+        session.market._mine()
+        ctx.final_state = session.read_state()
+        if ctx.final_state != STATE_COMPLETE:
+            session.emit("settle.incomplete", state=ctx.final_state)
+            if session.require_completion:
+                raise SettlementFailure(
+                    "workload did not complete "
+                    f"(state={ctx.final_state!r})",
+                    snapshot=session.snapshot(),
+                )
+            return
+        ctx.payouts = session.collect_payouts()
+        for provider in ctx.participants:
+            provider.rewards_received += ctx.payouts.get(provider.address, 0)
+        session.emit("settle.payouts_recorded",
+                     total_paid=sum(ctx.payouts.values()),
+                     recipients=len(ctx.payouts))
+
+
+class AuditPhase(LifecyclePhase):
+    """Fig. 2 step 8: re-derive the history and cross-check the event trail."""
+
+    name = PHASE_AUDIT
+    failure_class = AuditFailure
+
+    def run(self, session: WorkloadSession) -> None:
+        if not session.audit_enabled:
+            return
+        report = audit_workload(
+            session.market.chain, session.ctx.workload_address,
+            auditor=session.consumer.address,
+        )
+        # The off-chain trail must cover the on-chain history: every event
+        # the contract emitted appears in this session's event log.
+        report.violations.extend(trail_covers_chain(
+            session.market.chain, session.ctx.workload_address,
+            session.trail,
+        ))
+        session.ctx.audit = report
+        session.emit("audit.completed", clean=report.clean,
+                     violations=len(report.violations))
+
+
+#: The canonical phase order the engine drives.
+LIFECYCLE_PHASES: tuple[LifecyclePhase, ...] = (
+    DeployPhase(),
+    MatchPhase(),
+    RegisterExecutorsPhase(),
+    AttestAndSubmitPhase(),
+    StartExecutionPhase(),
+    ExecutePhase(),
+    AggregatePhase(),
+    SettlePhase(),
+    AuditPhase(),
+)
+
+#: Phase name -> phase object, for tests and interceptor writers.
+PHASES_BY_NAME: dict[str, LifecyclePhase] = {
+    phase.name: phase for phase in LIFECYCLE_PHASES
+}

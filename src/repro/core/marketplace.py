@@ -2,33 +2,44 @@
 
 :class:`Marketplace` owns one instance of every substrate — blockchain +
 governance contracts, attestation service, data catalog, manufacturer
-registry — and provides the end-to-end lifecycle of a workload:
+registry — plus the structured :class:`~repro.core.events.EventBus` every
+layer reports into.  The Fig. 2 workload lifecycle itself lives in
+:mod:`repro.core.lifecycle`: :meth:`Marketplace.run_workload` and
+:meth:`Marketplace.run_aggregate_workload` are thin drivers that build a
+:class:`~repro.core.lifecycle.WorkloadKind` strategy and hand it to one
+:class:`~repro.core.lifecycle.WorkloadSession`, which walks the phase
+state machine:
 
-1. the consumer deploys a :class:`WorkloadContract` escrowing the reward;
-2. storage subsystems match the spec's semantic requirement against each
-   provider's catalog records; willing providers (per their policies) join;
-3. executors launch measured enclaves and register on-chain;
-4. each participating provider verifies the executor's attestation quote
-   against the on-chain code measurement, then sends its encrypted data
-   plus a signed participation certificate;
-5. executors record certificates on-chain; once the consumer's conditions
-   hold, execution starts;
-6. enclaves train; executors aggregate parameters peer-to-peer (an
-   all-reduce over their sample-weighted outputs), agree on payout weights,
-   and submit quorum-confirmed results;
-7. the contract pays providers and executors; the consumer retrieves and
-   evaluates the model; anyone can audit the history.
+1. **deploy** — the consumer deploys a workload contract escrowing the
+   reward;
+2. **match** — storage subsystems match the spec's semantic requirement
+   against each provider's catalog records; willing providers (per their
+   policies) join;
+3. **register_executors** — executors launch measured enclaves and
+   register on-chain;
+4. **attest_and_submit** — each participating provider verifies the
+   executor's attestation quote against the on-chain code measurement,
+   then sends its encrypted data plus a signed participation certificate;
+5. **start_execution** — once the consumer's conditions hold, execution
+   starts;
+6. **execute / aggregate** — enclaves run; executors all-reduce their
+   outputs and agree on payout weights;
+7. **settle** — quorum-confirmed results trigger the contract payout;
+8. **audit** — anyone re-derives the history and cross-checks it against
+   the session's event trail.
 
 Everything is deterministic under the marketplace seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.chain.block import Block
 from repro.chain.blockchain import Blockchain, Wallet
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import default_registry
@@ -39,21 +50,25 @@ from repro.core.actors import (
     ParticipationPolicy,
     ProviderActor,
     accept_all_policy,
-    result_hash_of,
+)
+from repro.core.events import EventBus, LifecycleEvent, RingBufferSink
+from repro.core.lifecycle import (
+    AggregateWorkloadKind,
+    MLTrainingKind,
+    WorkloadSession,
 )
 from repro.core.workload import WorkloadSpec
-from repro.errors import MarketplaceError, MatchingError
+from repro.errors import MarketplaceError
 from repro.governance import register_governance_contracts
-from repro.governance.audit import AuditReport, audit_workload
-from repro.governance.contracts import BPS
+from repro.governance.audit import AuditReport
 from repro.identity.device import ManufacturerRegistry
 from repro.ml.datasets import Dataset
 from repro.storage.base import StorageBackend, content_address
 from repro.storage.catalog import DataCatalog, DataRecord
 from repro.storage.local import LocalEncryptedStore
 from repro.storage.semantic import Ontology, SemanticAnnotation
-from repro.tee.attestation import AttestationService
-from repro.tee.enclave import TEEPlatform
+from repro.tee.attestation import AttestationService, Quote
+from repro.tee.enclave import Enclave, TEEPlatform
 from repro.utils.rng import derive_rng
 
 #: Genesis balance granted to every actor wallet (covers gas + escrows).
@@ -77,6 +92,11 @@ class WorkloadRunReport:
     blocks_mined: int
     achieved_epsilon: Optional[float]
     audit: AuditReport
+    #: Executors that actually received data and executed (a subset of
+    #: ``executors``, which lists every registered executor — with more
+    #: executors than providers, round-robin leaves some idle).
+    active_executors: list[str] = field(default_factory=list)
+    session_id: str = ""
 
     @property
     def total_paid(self) -> int:
@@ -97,12 +117,22 @@ class Marketplace:
         self.manufacturers = ManufacturerRegistry()
         self.clock = 0.0
 
+        # Structured observability: every layer reports into this bus; the
+        # ring buffer keeps the recent history queryable in-process.
+        self.events = EventBus()
+        self.event_log = RingBufferSink()
+        self.events.attach(self.event_log)
+        self._active: Optional[WorkloadSession] = None
+        self._session_counter = 0
+
         consensus = ProofOfAuthority.with_generated_validators(
             validators, derive_rng(seed, "validators")
         )
         registry = default_registry()
         register_governance_contracts(registry)
         self.chain = Blockchain(consensus, registry=registry)
+        self.chain.block_observers.append(self._record_block)
+        self.attestation.on_verified = self._record_attestation
 
         # Platform operator wallet deploys the shared registries.
         self.operator = self._new_wallet("operator")
@@ -146,6 +176,84 @@ class Marketplace:
         )
         self.chain.state.credit(wallet.address, DEFAULT_FUNDING)
         return wallet
+
+    # -- event plumbing ------------------------------------------------------------
+
+    def next_session_id(self, workload_id: str) -> str:
+        self._session_counter += 1
+        return f"session-{self._session_counter:04d}-{workload_id}"
+
+    @contextmanager
+    def active_session(self, session: WorkloadSession) -> Iterator[None]:
+        """Attribute chain/TEE events to ``session`` while it runs."""
+        if self._active is not None:
+            raise MarketplaceError(
+                f"session {self._active.session_id} is already running"
+            )
+        self._active = session
+        try:
+            yield
+        finally:
+            self._active = None
+
+    def publish_event(self, name: str, *,
+                      session: Optional[WorkloadSession] = None,
+                      gas_delta: int = 0, block_height: int = -1,
+                      actor: str = "",
+                      data: Optional[dict] = None) -> LifecycleEvent:
+        """Emit one event on the bus, attributed to the given (or active)
+        session's current phase; platform-level events (onboarding,
+        out-of-session mining) carry an empty session id."""
+        session = session if session is not None else self._active
+        event = self.events.emit(
+            session_id=session.session_id if session else "",
+            phase=session.state if session else "platform",
+            name=name,
+            sim_clock=self.clock,
+            gas_delta=gas_delta,
+            block_height=block_height,
+            actor=actor,
+            data=data,
+        )
+        if session is not None:
+            session.trail.append(event)
+        return event
+
+    def _record_block(self, block: Block) -> None:
+        """Chain hook: one event per mined block (carrying the gas delta)
+        plus one per contract log, so session gas accounting and the
+        audit-trail cross-check both derive from the event stream."""
+        self.publish_event(
+            "chain.block_mined",
+            gas_delta=block.header.gas_used,
+            block_height=block.header.number,
+            actor=block.header.validator,
+            data={"transactions": len(block.transactions)},
+        )
+        for log in self.chain.logs_of(block):
+            self.publish_event(
+                "chain.log",
+                block_height=block.header.number,
+                actor=log.address,
+                data={"log_name": log.name, "log_address": log.address},
+            )
+
+    def _record_attestation(self, quote: Quote) -> None:
+        """Attestation hook: a quote passed verification."""
+        self.publish_event(
+            "tee.attestation_verified",
+            actor=quote.platform_id,
+            data={"measurement": quote.measurement.hex()},
+        )
+
+    def _record_enclave_launch(self, enclave: Enclave) -> None:
+        """TEE hook: a platform launched a measured enclave."""
+        self.publish_event(
+            "tee.enclave_launched",
+            actor=enclave.platform.platform_id,
+            data={"code": enclave.code.name,
+                  "measurement": enclave.measurement.hex()},
+        )
 
     # -- actor onboarding --------------------------------------------------------------
 
@@ -211,6 +319,7 @@ class Marketplace:
             platform_id=f"platform-{name}",
             rng=derive_rng(self.seed, f"platform-{name}"),
         )
+        platform.on_launch = self._record_enclave_launch
         self.attestation.provision_platform(platform)
         executor = ExecutorActor(name=name, wallet=wallet, platform=platform)
         self.executors.append(executor)
@@ -245,134 +354,20 @@ class Marketplace:
                 willing.append(provider)
         return willing
 
+    def session_for(self, consumer: ConsumerActor, kind,
+                    executors: Optional[list[ExecutorActor]] = None,
+                    **session_kwargs) -> WorkloadSession:
+        """Build a lifecycle session over this marketplace's substrates."""
+        return WorkloadSession(self, consumer, kind, executors=executors,
+                               **session_kwargs)
+
     def run_workload(self, consumer: ConsumerActor, spec: WorkloadSpec,
                      executors: Optional[list[ExecutorActor]] = None,
                      ) -> WorkloadRunReport:
         """Run the complete Fig. 2 sequence and return the full report."""
-        if executors is None:
-            executors = list(self.executors)
-        if not executors:
-            raise MarketplaceError("no executors available")
-        if spec.required_confirmations > len(executors):
-            raise MarketplaceError(
-                "spec requires more confirmations than executors exist"
-            )
-        gas_before = self._total_gas()
-        blocks_before = self.chain.height
-
-        workload_address = self.submit_workload(consumer, spec)
-
-        participants = self.matching_providers(spec)
-        if len(participants) < spec.min_providers:
-            raise MatchingError(
-                f"only {len(participants)} willing providers; "
-                f"spec requires {spec.min_providers}"
-            )
-
-        # Phase 3: executors launch enclaves and register on-chain.
-        code = ExecutorActor.code_for(spec)
-        for executor in executors:
-            executor.launch_enclave(spec)
-            executor.wallet.call(
-                workload_address, "register_executor",
-                claimed_measurement=code.measurement.hex(),
-            )
-        self._mine()
-
-        # Phase 4: providers attest executors, send data + certificates.
-        onchain_measurement = consumer.wallet.view(
-            workload_address, "code_measurement"
-        )
-        assignments: dict[str, list[ProviderActor]] = {
-            executor.address: [] for executor in executors
-        }
-        for index, provider in enumerate(participants):
-            executor = executors[index % len(executors)]
-            quote = executor.quote_for(spec)
-            enclave_key = self.attestation.verify(
-                quote,
-                expected_measurement=bytes.fromhex(onchain_measurement),
-            )
-            envelope, certificate = provider.prepare_submission(
-                spec, executor.address, enclave_key,
-                issued_at=self._tick(),
-                rng=derive_rng(self.seed, f"submit-{provider.name}"),
-            )
-            certificate.verify()
-            executor.accept_data(
-                spec, provider.address, envelope,
-                provider.wallet.key.public_key,
-            )
-            executor.wallet.call(
-                workload_address, "submit_participation",
-                provider=provider.address,
-                certificate_hash=certificate.certificate_hash.hex(),
-                data_root=certificate.data_root.hex(),
-                item_count=certificate.item_count,
-            )
-            assignments[executor.address].append(provider)
-        self._mine()
-
-        # Phase 5: gate execution on the consumer's preconditions.
-        consumer.wallet.call(workload_address, "start_execution")
-        self._mine()
-
-        # Phase 6: enclaves train; executors all-reduce and vote.
-        outputs = []
-        active_executors = [
-            executor for executor in executors
-            if assignments[executor.address]
-        ]
-        for executor in active_executors:
-            outputs.append(executor.execute(spec, training_seed=self.seed))
-        final_params, weights_bps, achieved_epsilon = (
-            self._aggregate_outputs(spec, outputs)
-        )
-        result_hash = result_hash_of(final_params, weights_bps)
-        for executor in active_executors[:spec.required_confirmations]:
-            executor.wallet.call(
-                workload_address, "submit_result",
-                result_hash=result_hash,
-                provider_weights_bps=weights_bps,
-            )
-        self._mine()
-
-        state = consumer.wallet.view(workload_address, "state")
-        if state != "complete":
-            raise MarketplaceError(
-                f"workload did not complete (state={state!r})"
-            )
-
-        # Phase 7: retrieval, payout accounting, audit.
-        payouts: dict[str, int] = {}
-        for _, log in self.chain.events(name="RewardPaid",
-                                        address=workload_address):
-            payouts[log.data["recipient"]] = (
-                payouts.get(log.data["recipient"], 0)
-                + int(log.data["amount"])
-            )
-        for provider in participants:
-            provider.rewards_received += payouts.get(provider.address, 0)
-        consumer_score = None
-        if consumer.validation is not None:
-            consumer_score = consumer.evaluate_result(spec, final_params)
-        report = WorkloadRunReport(
-            workload_address=workload_address,
-            spec=spec,
-            participants=[p.address for p in participants],
-            executors=[e.address for e in executors],
-            final_params=final_params,
-            result_hash=result_hash,
-            consumer_score=consumer_score,
-            payouts=payouts,
-            weights_bps=weights_bps,
-            gas_used=self._total_gas() - gas_before,
-            blocks_mined=self.chain.height - blocks_before,
-            achieved_epsilon=achieved_epsilon,
-            audit=audit_workload(self.chain, workload_address,
-                                 auditor=consumer.address),
-        )
-        return report
+        return self.session_for(
+            consumer, MLTrainingKind(spec), executors=executors
+        ).run()
 
     def run_aggregate_workload(self, consumer: ConsumerActor,
                                workload_id: str, requirement,
@@ -384,195 +379,21 @@ class Marketplace:
         """Run a *statistical aggregate* workload through the full lifecycle.
 
         The paper generalizes PDS2 beyond ML training; this is that other
-        workload class on exactly the same machinery: the same contract,
+        workload class on exactly the same engine: the same contract,
         certificates, attestation and quorum — only the enclave entry point
         (and the result: a statistic, not a model) differ.  Returns
         ``(AggregateResult, AuditReport, workload_address)``.
         """
-        from repro.core.aggregates import (
-            AggregateResult,
-            aggregate_enclave_entry_point,
-            combine_aggregate_outputs,
-        )
-        from repro.core.actors import result_hash_of
-        from repro.crypto.hashing import hash_object
-        from repro.governance.audit import audit_workload
-        from repro.tee.enclave import EnclaveCode
-
-        executors = list(self.executors)
-        if not executors:
-            raise MarketplaceError("no executors available")
-        spec_dict = agg_spec.to_dict()
-        code = EnclaveCode(
-            name=f"pds2-aggregate-{workload_id}",
-            version=hash_object(spec_dict).hex(),
-            entry_point=aggregate_enclave_entry_point,
-        )
-        workload_address = consumer.wallet.deploy_and_mine(
-            "workload", value=reward_pool,
-            spec_hash=hash_object(spec_dict).hex(),
-            code_measurement=code.measurement.hex(),
-            min_providers=min_providers, min_samples=min_samples,
-            infra_share_bps=infra_share_bps,
+        kind = AggregateWorkloadKind(
+            workload_id, requirement, agg_spec,
+            reward_pool=reward_pool, min_providers=min_providers,
+            min_samples=min_samples, infra_share_bps=infra_share_bps,
             required_confirmations=required_confirmations,
         )
-        participants = [
-            provider for provider in self.providers
-            if self.catalog.match_for_owner(requirement, provider.address)
-        ]
-        if len(participants) < min_providers:
-            raise MatchingError("not enough providers for the aggregate")
+        return self.session_for(consumer, kind).run()
 
-        from repro.core.workload import serialize_partition
-        from repro.governance.certificates import issue_certificate
-        from repro.tee.enclave import Enclave
-
-        enclaves = {}
-        for executor in executors:
-            enclave = executor.platform.launch(code)
-            enclaves[executor.address] = enclave
-            executor.wallet.call(
-                workload_address, "register_executor",
-                claimed_measurement=code.measurement.hex(),
-            )
-        self._mine()
-
-        assignments = {executor.address: 0 for executor in executors}
-        for index, provider in enumerate(participants):
-            executor = executors[index % len(executors)]
-            enclave = enclaves[executor.address]
-            quote = AttestationService.produce_quote(enclave)
-            enclave_key = self.attestation.verify(
-                quote, expected_measurement=code.measurement,
-            )
-            rows = serialize_partition(provider.dataset.features,
-                                       provider.dataset.targets)
-            certificate = issue_certificate(
-                provider.wallet.key, workload_id, executor.address, rows,
-                issued_at=self._tick(),
-            )
-            envelope = Enclave.encrypt_for_enclave(
-                enclave_key, provider.wallet.key,
-                provider.partition_payload(),
-                derive_rng(self.seed, f"agg-{workload_id}-{provider.name}"),
-            )
-            enclave.provision_input(
-                f"provider:{provider.address}", envelope,
-                provider.wallet.key.public_key,
-            )
-            executor.wallet.call(
-                workload_address, "submit_participation",
-                provider=provider.address,
-                certificate_hash=certificate.certificate_hash.hex(),
-                data_root=certificate.data_root.hex(),
-                item_count=certificate.item_count,
-            )
-            assignments[executor.address] += 1
-        self._mine()
-        consumer.wallet.call(workload_address, "start_execution")
-        self._mine()
-
-        outputs = []
-        sample_counts: dict[str, float] = {}
-        for executor in executors:
-            if assignments[executor.address] == 0:
-                continue
-            enclave = enclaves[executor.address]
-            enclave.run(agg_spec=spec_dict, noise_seed=self.seed)
-            output = enclave.extract_output()
-            outputs.append(output)
-            for provider, count in output["sample_counts"].items():
-                sample_counts[provider] = (
-                    sample_counts.get(provider, 0) + count
-                )
-        combined = combine_aggregate_outputs(agg_spec.kind, outputs)
-
-        total = sum(sample_counts.values())
-        providers_sorted = sorted(sample_counts)
-        weights_bps: dict[str, int] = {}
-        assigned = 0
-        for provider in providers_sorted[:-1]:
-            share = int(round(sample_counts[provider] / total * BPS))
-            weights_bps[provider] = share
-            assigned += share
-        weights_bps[providers_sorted[-1]] = BPS - assigned
-
-        statistic_vector = (np.atleast_1d(np.asarray(combined, dtype=float)))
-        result_hash = result_hash_of(statistic_vector, weights_bps)
-        for executor in executors[:required_confirmations]:
-            executor.wallet.call(
-                workload_address, "submit_result",
-                result_hash=result_hash,
-                provider_weights_bps=weights_bps,
-            )
-        self._mine()
-        state = consumer.wallet.view(workload_address, "state")
-        if state != "complete":
-            raise MarketplaceError(
-                f"aggregate workload did not complete (state={state!r})"
-            )
-        result = AggregateResult(
-            statistic=combined, kind=agg_spec.kind,
-            dp_epsilon=agg_spec.dp_epsilon,
-            total_samples=int(total),
-            sample_counts={k: int(v) for k, v in sample_counts.items()},
-        )
-        audit = audit_workload(self.chain, workload_address,
-                               auditor=consumer.address)
-        return result, audit, workload_address
-
-    # -- aggregation helpers ----------------------------------------------------------------
-
-    @staticmethod
-    def _aggregate_outputs(spec: WorkloadSpec, outputs: list[dict]
-                           ) -> tuple[np.ndarray, dict[str, int],
-                                      Optional[float]]:
-        """Decentralized aggregation: all-reduce executor enclave outputs.
-
-        Parameters are averaged weighted by trained sample counts (the
-        deterministic fixed point the executors' peer-to-peer averaging
-        converges to); payout weights come from certified sample counts or
-        from enclave-computed Shapley fractions scaled by each executor's
-        data share.
-        """
-        if not outputs:
-            raise MarketplaceError("no enclave outputs to aggregate")
-        weights = np.array([out["trained_samples"] for out in outputs],
-                           dtype=float)
-        stacked = np.stack([
-            np.asarray(out["params"], dtype=float) for out in outputs
-        ])
-        final_params = (weights / weights.sum()) @ stacked
-
-        raw: dict[str, float] = {}
-        total_samples = float(sum(out["trained_samples"] for out in outputs))
-        for out in outputs:
-            executor_share = out["trained_samples"] / total_samples
-            if "shapley_fractions" in out:
-                for provider, fraction in out["shapley_fractions"].items():
-                    raw[provider] = (raw.get(provider, 0.0)
-                                     + fraction * executor_share)
-            else:
-                executor_total = float(sum(out["sample_counts"].values()))
-                for provider, count in out["sample_counts"].items():
-                    raw[provider] = (raw.get(provider, 0.0)
-                                     + (count / executor_total)
-                                     * executor_share)
-        total = sum(raw.values())
-        providers = sorted(raw)
-        bps: dict[str, int] = {}
-        assigned = 0
-        for provider in providers[:-1]:
-            share = int(round(raw[provider] / total * BPS))
-            bps[provider] = share
-            assigned += share
-        bps[providers[-1]] = BPS - assigned
-        epsilons = [out.get("achieved_epsilon") for out in outputs]
-        achieved = None
-        known = [e for e in epsilons if e is not None]
-        if known:
-            achieved = max(known)
-        return final_params, bps, achieved
+    # -- accounting helpers ----------------------------------------------------------------
 
     def _total_gas(self) -> int:
-        return sum(block.header.gas_used for block in self.chain.blocks)
+        """Cumulative gas, maintained at mine time (O(1), not O(blocks))."""
+        return self.chain.total_gas_used

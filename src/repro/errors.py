@@ -209,3 +209,83 @@ class MatchingError(MarketplaceError):
 
 class WorkloadSpecError(MarketplaceError):
     """A workload specification is malformed or self-contradictory."""
+
+
+# ---------------------------------------------------------------------------
+# Workload lifecycle engine
+# ---------------------------------------------------------------------------
+
+
+class LifecycleError(MarketplaceError):
+    """A workload lifecycle phase failed.
+
+    Carries a ``snapshot`` of the session at the moment of failure (session
+    id, phase, workload address, participants, gas so far), so callers and
+    the adversary harness can inspect exactly where a run died without
+    parsing the message.  One subclass exists per lifecycle phase.
+    """
+
+    #: The lifecycle phase this error class belongs to.
+    phase: str = ""
+
+    def __init__(self, message: str, snapshot: dict | None = None):
+        super().__init__(message)
+        self.snapshot: dict = dict(snapshot or {})
+
+
+class TransitionError(LifecycleError):
+    """The engine attempted a transition the phase table does not allow."""
+
+
+class DeployFailure(LifecycleError):
+    """Deploying the workload contract (or validating the run) failed."""
+
+    phase = "deploy"
+
+
+class MatchFailure(LifecycleError, MatchingError):
+    """Provider matching found fewer willing providers than required."""
+
+    phase = "match"
+
+
+class RegistrationFailure(LifecycleError):
+    """Executor enclave launch or on-chain registration failed."""
+
+    phase = "register_executors"
+
+
+class SubmissionFailure(LifecycleError):
+    """Attestation or certified data submission failed."""
+
+    phase = "attest_and_submit"
+
+
+class StartFailure(LifecycleError):
+    """The consumer could not start execution."""
+
+    phase = "start_execution"
+
+
+class ExecutionFailure(LifecycleError):
+    """An enclave failed while executing the workload."""
+
+    phase = "execute"
+
+
+class AggregationFailure(LifecycleError):
+    """Combining enclave outputs or casting result votes failed."""
+
+    phase = "aggregate"
+
+
+class SettlementFailure(LifecycleError):
+    """The contract did not reach completion, or payout collection failed."""
+
+    phase = "settle"
+
+
+class AuditFailure(LifecycleError):
+    """The post-completion audit could not be produced."""
+
+    phase = "audit"

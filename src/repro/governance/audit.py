@@ -171,6 +171,37 @@ def audit_workload(chain: Blockchain, workload_address: str,
     )
 
 
+def trail_covers_chain(chain: Blockchain, workload_address: str,
+                       trail: "list") -> list[str]:
+    """Check that an off-chain event trail covers the on-chain history.
+
+    ``trail`` is a session's lifecycle event log (duck-typed: items need
+    ``.name`` and ``.data``); every log the workload contract emitted must
+    appear in it as a ``chain.log`` event, with matching multiplicity.
+    Returns the list of violations (empty when the trail is complete), so
+    callers can fold it into an :class:`AuditReport`.
+    """
+    from collections import Counter
+
+    on_chain: Counter = Counter(
+        log.name for _, log in chain.events(address=workload_address)
+    )
+    observed: Counter = Counter(
+        event.data.get("log_name") for event in trail
+        if event.name == "chain.log"
+        and event.data.get("log_address") == workload_address
+    )
+    violations: list[str] = []
+    for log_name, count in sorted(on_chain.items()):
+        seen = observed.get(log_name, 0)
+        if seen < count:
+            violations.append(
+                f"event trail missing {count - seen} on-chain "
+                f"{log_name} event(s)"
+            )
+    return violations
+
+
 def require_clean_audit(chain: Blockchain, workload_address: str) -> AuditReport:
     """Audit and raise :class:`AuditError` on any violation."""
     report = audit_workload(chain, workload_address)

@@ -181,7 +181,7 @@ class ManufacturerRegistry:
         entry = self._manufacturers.get(certificate.manufacturer_id)
         if entry is None:
             raise AuthenticityError(
-                f"certificate from unknown manufacturer "
+                "certificate from unknown manufacturer "
                 f"{certificate.manufacturer_id!r}"
             )
         public_key, _ = entry

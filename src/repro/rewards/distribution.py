@@ -47,6 +47,29 @@ def largest_remainder_allocation(pool: int,
     return floors
 
 
+#: Basis points in one whole (the chain-wide weight denominator).
+WEIGHT_BPS = 10_000
+
+
+def normalize_weights_bps(weights: dict[str, float],
+                          total: int = WEIGHT_BPS) -> dict[str, int]:
+    """Normalize raw contribution weights to integer shares summing to ``total``.
+
+    Built on :func:`largest_remainder_allocation`, so remainder units go to
+    the largest fractional parts instead of being dumped on whichever key
+    happens to sort last — the latter gives the lexicographically-last
+    recipient a systematically skewed share.  Keys are processed in sorted
+    order so the result is deterministic.
+    """
+    if not weights:
+        raise RewardError("cannot normalize an empty weight map")
+    keys = sorted(weights)
+    amounts = largest_remainder_allocation(
+        total, np.array([weights[key] for key in keys], dtype=float)
+    )
+    return {key: int(amount) for key, amount in zip(keys, amounts)}
+
+
 @dataclass(frozen=True)
 class RewardSplit:
     """The final payout table for one workload."""

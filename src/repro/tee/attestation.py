@@ -19,6 +19,7 @@ whose measurement equals the workload code hash recorded on-chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.crypto.ecdsa import PublicKey, Signature
 from repro.errors import AttestationError
@@ -65,6 +66,9 @@ class AttestationService:
     def __init__(self) -> None:
         self._platforms: dict[str, PublicKey] = {}
         self._revoked: set[str] = set()
+        #: Optional observer called with each successfully verified quote
+        #: (the marketplace event bus hooks in here; None means unobserved).
+        self.on_verified: Callable[[Quote], None] | None = None
 
     # -- provisioning ---------------------------------------------------------
 
@@ -139,6 +143,9 @@ class AttestationService:
                 "enclave measurement does not match the expected workload code"
             )
         try:
-            return PublicKey.from_bytes(quote.report_data)
+            key = PublicKey.from_bytes(quote.report_data)
         except Exception as exc:  # malformed report data is an attack signal
             raise AttestationError("quote report data is not a public key") from exc
+        if self.on_verified is not None:
+            self.on_verified(quote)
+        return key

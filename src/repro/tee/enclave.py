@@ -74,10 +74,16 @@ class TEEPlatform:
         self._platform_secret = rng.bytes(32)
         self.attestation_key = PrivateKey.generate(rng)
         self._rng = rng
+        #: Optional observer called with every launched enclave (the
+        #: marketplace event bus hooks in here; None means unobserved).
+        self.on_launch: Callable[["Enclave"], None] | None = None
 
     def launch(self, code: EnclaveCode) -> "Enclave":
         """Instantiate an enclave running ``code`` on this platform."""
-        return Enclave(platform=self, code=code, rng=self._rng)
+        enclave = Enclave(platform=self, code=code, rng=self._rng)
+        if self.on_launch is not None:
+            self.on_launch(enclave)
+        return enclave
 
     def sealing_key(self, measurement: bytes) -> bytes:
         """Derive the sealing key for a given enclave measurement.

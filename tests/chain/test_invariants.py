@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.chain.blockchain import Blockchain, Wallet
+from repro.chain.blockchain import Blockchain
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import default_registry
 from repro.governance import register_governance_contracts

@@ -8,7 +8,6 @@ from repro.chain.blockchain import Blockchain, Wallet
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import Contract, ContractRegistry
 from repro.chain.transaction import Transaction
-from repro.errors import ContractError
 from tests.conftest import make_funded_wallet
 
 

@@ -8,7 +8,6 @@ import pytest
 from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
 from repro.core.adversary import (
     ExecutorBehavior,
-    confirmed_result,
     run_with_adversaries,
 )
 from repro.core.aggregates import (

@@ -11,7 +11,12 @@ from repro.core.aggregates import (
     AggregateSpec,
     combine_aggregate_outputs,
 )
-from repro.errors import MatchingError, WorkloadSpecError
+from repro.errors import (
+    MarketplaceError,
+    MatchingError,
+    SettlementFailure,
+    WorkloadSpecError,
+)
 from repro.ml.datasets import make_iot_activity, split_dirichlet
 from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
 
@@ -80,11 +85,43 @@ class TestAggregateLifecycle:
 
     def test_no_matching_providers(self, market_setup):
         market, consumer, data = market_setup
-        with pytest.raises(MatchingError):
+        with pytest.raises(MatchingError) as excinfo:
             market.run_aggregate_workload(
                 consumer, "agg-none", ConceptRequirement("motion"),
                 AggregateSpec(AggregateKind.MEAN, field_index=0),
             )
+        # Lifecycle failures carry a session snapshot of where the run died.
+        assert excinfo.value.snapshot["state"] == "match"
+
+    def test_confirmations_exceeding_executors_rejected(self, market_setup):
+        market, consumer, data = market_setup
+        with pytest.raises(MarketplaceError, match="confirmations"):
+            market.run_aggregate_workload(
+                consumer, "agg-overconf", ConceptRequirement("physiological"),
+                AggregateSpec(AggregateKind.MEAN, field_index=0),
+                required_confirmations=3,  # only 2 executors exist
+            )
+
+    def test_missing_quorum_reports_noncomplete_state(self):
+        # One provider means one active executor; with two required
+        # confirmations the contract never completes and settlement fails
+        # with the observed contract state in the snapshot.
+        rng = np.random.default_rng(77)
+        data = make_iot_activity(120, rng)
+        market = Marketplace(seed=4)
+        market.add_provider("solo", data, SemanticAnnotation("heart_rate", {}))
+        consumer = market.add_consumer("c")
+        market.add_executor("e0")
+        market.add_executor("e1")
+        with pytest.raises(SettlementFailure) as excinfo:
+            market.run_aggregate_workload(
+                consumer, "agg-quorum", ConceptRequirement("physiological"),
+                AggregateSpec(AggregateKind.MEAN, field_index=0),
+                required_confirmations=2,
+            )
+        assert excinfo.value.snapshot["final_state"] == "executing"
+        # The typed failure still matches the legacy catch-all.
+        assert isinstance(excinfo.value, MarketplaceError)
 
 
 class TestCombine:

@@ -59,3 +59,38 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "audit clean: True" in output
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("trace") / "run.jsonl")
+        assert main(["quickstart", "--providers", "3", "--executors", "1",
+                     "--seed", "6", "--trace", path]) == 0
+        return path
+
+    def test_quickstart_writes_trace(self, trace_path):
+        from repro.core.events import read_jsonl_events
+
+        events = read_jsonl_events(trace_path)
+        assert events
+        phases = {e.phase for e in events if e.session_id}
+        # One event minimum for every lifecycle phase.
+        assert {"deploy", "match", "register_executors", "attest_and_submit",
+                "start_execution", "execute", "aggregate", "settle",
+                "audit"} <= phases
+
+    def test_trace_replays_timeline(self, trace_path, capsys):
+        assert main(["trace", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "session-0001-cli-quickstart" in output
+        assert "chain.block_mined" in output
+        assert "total gas:" in output
+
+    def test_trace_unknown_session(self, trace_path, capsys):
+        assert main(["trace", trace_path, "--session", "nope"]) == 1
+        assert "not in trace" in capsys.readouterr().err
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -18,7 +18,6 @@ from repro.ml.datasets import (
     train_test_split,
 )
 from repro.storage.cloud import CloudStore
-from repro.storage.local import LocalEncryptedStore
 from repro.storage.swarm import SwarmStore
 from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
 from repro.utils.rng import derive_rng

@@ -162,6 +162,33 @@ class TestLifecycleVariants:
         assert providers[0].rewards_received > before
 
 
+class TestActiveExecutors:
+    def test_more_executors_than_providers(self):
+        """Idle executors are reported separately from active ones."""
+        rng = np.random.default_rng(400)
+        data = make_iot_activity(300, rng)
+        train, validation = train_test_split(data, 0.25, rng)
+        parts = split_dirichlet(train, 2, 1.0, rng, min_samples=10)
+        market = Marketplace(seed=3)
+        for index, part in enumerate(parts):
+            market.add_provider(f"p{index}", part,
+                                SemanticAnnotation("heart_rate", {}))
+        consumer = market.add_consumer("c", validation=validation)
+        for index in range(4):
+            market.add_executor(f"e{index}")
+        report = market.run_workload(consumer, har_spec(
+            workload_id="wl-idle", min_providers=2, min_samples=20,
+            required_confirmations=1,
+            training=TrainingSpec(steps=30, learning_rate=0.3),
+        ))
+        # Round-robin hands 2 providers to the first 2 of 4 executors;
+        # the other two register (and earn infra share) but never execute.
+        assert len(report.executors) == 4
+        assert len(report.active_executors) == 2
+        assert set(report.active_executors) < set(report.executors)
+        assert report.audit.clean, report.audit.violations
+
+
 class TestDeterminism:
     def test_same_seed_same_outcome(self):
         def build_and_run(seed):

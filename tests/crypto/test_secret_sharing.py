@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.crypto.secret_sharing import (
     DEFAULT_PRIME,
-    ShamirShare,
     additive_reconstruct,
     additive_share,
     decode_signed,

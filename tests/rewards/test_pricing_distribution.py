@@ -11,8 +11,10 @@ from repro.errors import RewardError
 from repro.ml.datasets import make_iot_activity, train_test_split
 from repro.ml.models import SoftmaxRegressionModel
 from repro.rewards.distribution import (
+    WEIGHT_BPS,
     distribute_rewards,
     largest_remainder_allocation,
+    normalize_weights_bps,
 )
 from repro.rewards.pricing import ModelPricingScheme, verify_arbitrage_free
 
@@ -143,3 +145,46 @@ class TestDistribution:
         total = (sum(split.provider_payouts.values())
                  + sum(split.executor_payouts.values()))
         assert total == pool
+
+
+class TestNormalizeWeightsBps:
+    def test_sums_exactly_to_bps(self):
+        weights = {"a": 0.123, "b": 0.456, "c": 0.421}
+        shares = normalize_weights_bps(weights)
+        assert sum(shares.values()) == WEIGHT_BPS
+        assert set(shares) == set(weights)
+
+    def test_fair_remainder_distribution(self):
+        # Seven equal contributors: 10_000 / 7 = 1428.57…  The old
+        # round-then-dump loop gave the first six round(1428.57) = 1429
+        # (8574 total) and dumped 1426 on the lexicographically-last key —
+        # a systematic 3-unit skew.  Largest-remainder keeps every share
+        # within one unit of every other.
+        weights = {f"p{i}": 1.0 for i in range(7)}
+        shares = normalize_weights_bps(weights)
+        assert sum(shares.values()) == WEIGHT_BPS
+        assert max(shares.values()) - min(shares.values()) <= 1
+
+    def test_proportionality_preserved(self):
+        weights = {"small": 1.0, "big": 3.0}
+        shares = normalize_weights_bps(weights)
+        assert shares == {"small": 2500, "big": 7500}
+
+    def test_custom_total(self):
+        shares = normalize_weights_bps({"x": 2.0, "y": 1.0}, total=100)
+        assert sum(shares.values()) == 100
+        assert shares["x"] == 67 and shares["y"] == 33
+
+    def test_empty_rejected(self):
+        with pytest.raises(RewardError):
+            normalize_weights_bps({})
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.floats(min_value=0.0, max_value=1e6,
+                                     allow_nan=False),
+                           min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_always_sums_to_total(self, weights):
+        shares = normalize_weights_bps(weights)
+        assert sum(shares.values()) == WEIGHT_BPS
+        assert all(share >= 0 for share in shares.values())

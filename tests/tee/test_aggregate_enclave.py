@@ -8,7 +8,6 @@ encrypted.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.aggregates import (
