@@ -4,21 +4,83 @@ Every benchmark regenerates one experiment from DESIGN.md and records its
 table under ``benchmarks/results/<experiment>.txt`` (stdout is captured by
 pytest, files are not).  EXPERIMENTS.md summarizes these tables against the
 paper's claims.
+
+Each report also captures the telemetry accumulated since the last report:
+a ``<experiment>.metrics.json`` sidecar with the full registry snapshot,
+plus a short "telemetry" section appended to the text table so the raw
+counters travel with the measured numbers they explain.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Registry totals surfaced inline in the .txt summary (the full snapshot
+#: lives in the JSON sidecar).
+_SUMMARY_METRICS = (
+    "pds2_chain_blocks_mined_total",
+    "pds2_chain_gas_total",
+    "pds2_vm_txs_applied_total",
+    "pds2_crypto_sign_total",
+    "pds2_crypto_verify_total",
+    "pds2_tee_enclave_launches_total",
+    "pds2_tee_attestations_total",
+    "pds2_gossip_merges_total",
+    "pds2_net_messages_total",
+    "pds2_storage_ops_total",
+)
+
+
+def _telemetry_section(snapshot: dict) -> list[str]:
+    """Condense a registry snapshot into the inline summary lines."""
+    totals: dict[str, float] = {}
+    for metric in snapshot.get("metrics", []):
+        name = metric.get("name")
+        if name not in _SUMMARY_METRICS:
+            continue
+        if metric.get("type") == "histogram":
+            total = sum(sample.get("count", 0)
+                        for sample in metric.get("samples", []))
+        else:
+            total = sum(sample.get("value", 0)
+                        for sample in metric.get("samples", []))
+        if total:
+            totals[name] = total
+    if not totals:
+        return []
+    lines = ["", "telemetry (since previous report)"]
+    for name in _SUMMARY_METRICS:
+        if name in totals:
+            value = totals[name]
+            rendered = (f"{int(value):,}" if float(value).is_integer()
+                        else f"{value:,.3f}")
+            lines.append(f"  {name:<36} {rendered:>16}")
+    return lines
+
 
 def report(experiment_id: str, title: str, lines: list[str]) -> None:
-    """Write one experiment's result table to disk (and echo to stdout)."""
+    """Write one experiment's result table to disk (and echo to stdout).
+
+    Also snapshots — and then resets — the process telemetry registry, so
+    each experiment's sidecar reflects only its own run even when pytest
+    executes several benchmarks in one process.
+    """
+    from repro import telemetry
+
     RESULTS_DIR.mkdir(exist_ok=True)
+    snapshot = telemetry.snapshot(telemetry.REGISTRY)
+    telemetry.reset()
+    stem = experiment_id.lower()
+    (RESULTS_DIR / f"{stem}.metrics.json").write_text(
+        json.dumps(snapshot, indent=2) + "\n"
+    )
     header = f"{experiment_id}: {title}"
-    body = "\n".join([header, "=" * len(header), *lines, ""])
-    (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(body)
+    body = "\n".join([header, "=" * len(header), *lines,
+                      *_telemetry_section(snapshot), ""])
+    (RESULTS_DIR / f"{stem}.txt").write_text(body)
     print("\n" + body)
 
 

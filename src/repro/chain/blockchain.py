@@ -27,8 +27,30 @@ from repro.chain.vm import VM, BlockContext
 from repro.crypto.ecdsa import PrivateKey
 from repro.crypto.hashing import keccak256
 from repro.errors import ChainError, InvalidBlockError, InvalidTransactionError
+from repro.telemetry import metrics as _tm
+from repro.telemetry.tracing import tracer as _tracer
 
 GENESIS_PARENT = keccak256(b"pds2-genesis")
+
+# Chain-layer telemetry (module-level handles on the process registry, so
+# the per-block cost is a couple of attribute increments).
+_BLOCKS_MINED = _tm.counter(
+    "pds2_chain_blocks_mined_total", "Blocks sealed onto the chain"
+)
+_CHAIN_GAS = _tm.counter(
+    "pds2_chain_gas_total", "Cumulative gas across all sealed blocks"
+)
+_TXS_INCLUDED = _tm.counter(
+    "pds2_chain_txs_included_total", "Transactions sealed into blocks"
+)
+_TXS_REJECTED = _tm.counter(
+    "pds2_chain_txs_rejected_total",
+    "Transactions dropped at block admission (bad nonce, unaffordable)"
+)
+_BLOCK_GAS_HIST = _tm.histogram(
+    "pds2_chain_block_gas", "Gas used per sealed block",
+    buckets=_tm.GAS_BUCKETS,
+)
 
 
 class Blockchain:
@@ -134,42 +156,53 @@ class Blockchain:
             ),
             validator=proposer.address,
         )
-        included: list[Transaction] = []
-        gas_used = 0
-        gas_reserved = 0
-        pool, self.pending = self.pending, []
-        for tx in pool:
-            # Pack by gas-limit reservation, as miners do: a transaction may
-            # use up to its limit, so the worst case must fit the block.
-            if gas_reserved + tx.gas_limit > self.block_gas_limit:
-                self.pending.append(tx)  # leave for the next block
-                continue
-            gas_reserved += tx.gas_limit
-            tx_hash = tx.tx_hash
-            try:
-                receipt = self.vm.apply_transaction(self.state, block_ctx, tx)
-            except ChainError as exc:
-                self._receipts[tx_hash] = Receipt(
-                    tx_hash=tx_hash, status=False, gas_used=0,
-                    error=f"rejected: {exc}", block_number=number,
-                )
-                continue
-            self._receipts[tx_hash] = receipt
-            included.append(tx)
-            gas_used += receipt.gas_used
-        header = BlockHeader(
-            number=number,
-            parent_hash=self.head.block_hash,
-            timestamp=block_ctx.timestamp,
-            tx_root=Block.compute_tx_root(included),
-            state_root=self.state.state_root(),
-            validator=proposer.address,
-            gas_used=gas_used,
-        )
-        self.consensus.seal(header)
-        block = Block(header=header, transactions=included)
-        self.blocks.append(block)
-        self.total_gas_used += gas_used
+        with _tracer().span("chain.mine_block", height=number) as span:
+            included: list[Transaction] = []
+            gas_used = 0
+            gas_reserved = 0
+            pool, self.pending = self.pending, []
+            for tx in pool:
+                # Pack by gas-limit reservation, as miners do: a transaction
+                # may use up to its limit, so the worst case must fit the
+                # block.
+                if gas_reserved + tx.gas_limit > self.block_gas_limit:
+                    self.pending.append(tx)  # leave for the next block
+                    continue
+                gas_reserved += tx.gas_limit
+                tx_hash = tx.tx_hash
+                try:
+                    receipt = self.vm.apply_transaction(
+                        self.state, block_ctx, tx
+                    )
+                except ChainError as exc:
+                    self._receipts[tx_hash] = Receipt(
+                        tx_hash=tx_hash, status=False, gas_used=0,
+                        error=f"rejected: {exc}", block_number=number,
+                    )
+                    _TXS_REJECTED.inc()
+                    continue
+                self._receipts[tx_hash] = receipt
+                included.append(tx)
+                gas_used += receipt.gas_used
+            header = BlockHeader(
+                number=number,
+                parent_hash=self.head.block_hash,
+                timestamp=block_ctx.timestamp,
+                tx_root=Block.compute_tx_root(included),
+                state_root=self.state.state_root(),
+                validator=proposer.address,
+                gas_used=gas_used,
+            )
+            self.consensus.seal(header)
+            block = Block(header=header, transactions=included)
+            self.blocks.append(block)
+            self.total_gas_used += gas_used
+            _BLOCKS_MINED.inc()
+            _CHAIN_GAS.inc(gas_used)
+            _TXS_INCLUDED.inc(len(included))
+            _BLOCK_GAS_HIST.observe(gas_used)
+            span.set_attribute("transactions", len(included))
+            span.set_attribute("gas", gas_used)
         for observer in self.block_observers:
             observer(block)
         return block

@@ -29,9 +29,22 @@ from repro.errors import (
     InvalidTransactionError,
     OutOfGasError,
 )
+from repro.telemetry import metrics as _tm
 
 #: Depth limit for nested cross-contract calls.
 MAX_CALL_DEPTH = 64
+
+# VM telemetry: per-transaction application outcome and gas distribution.
+# Spans stop at the mine_block level — a per-tx span would dominate the
+# cost of applying the cheap transactions it measures.
+_TX_APPLIED = _tm.counter(
+    "pds2_vm_txs_applied_total", "Transactions applied, by outcome",
+    labelnames=("status",),
+)
+_TX_GAS_HIST = _tm.histogram(
+    "pds2_vm_tx_gas", "Gas used per applied transaction",
+    buckets=_tm.GAS_BUCKETS,
+)
 
 
 @dataclass
@@ -224,6 +237,8 @@ class VM:
         state.credit(tx.sender, refund)
         state.credit(block.validator, receipt.gas_used * tx.gas_price)
         receipt.block_number = block.number
+        _TX_APPLIED.labels(status="ok" if receipt.status else "reverted").inc()
+        _TX_GAS_HIST.observe(receipt.gas_used)
         return receipt
 
     # -- deployment ----------------------------------------------------------------

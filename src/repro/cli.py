@@ -9,6 +9,8 @@ Usage::
                                          # run a DP aggregate workload
     python -m repro quickstart --trace run.jsonl
     python -m repro trace run.jsonl      # replay a session's event timeline
+    python -m repro metrics run.jsonl    # Prometheus view of a run
+    python -m repro spans run.jsonl      # flame-style span tree of a run
 
 The CLI exists so a downstream user can see the platform move without
 writing code; anything serious should use the Python API (see README).
@@ -17,12 +19,52 @@ writing code; anything serious should use the Python API (see README).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Any, TextIO
 
 import numpy as np
 
 
-def _cmd_info(args: argparse.Namespace) -> int:
+class OutputWriter:
+    """Single sink for all CLI output so text and JSON modes compose.
+
+    In text mode (default), :meth:`line` prints to stdout.  In JSON mode,
+    text lines are suppressed, handlers attach structured results with
+    :meth:`set`, and :meth:`emit` prints one JSON document at the end —
+    commands never mix prose into machine-readable output.  Errors always
+    go to stderr in both modes.
+    """
+
+    def __init__(self, json_mode: bool = False,
+                 stream: TextIO | None = None,
+                 err_stream: TextIO | None = None):
+        self.json_mode = json_mode
+        self._stream = stream if stream is not None else sys.stdout
+        self._err = err_stream if err_stream is not None else sys.stderr
+        self._payload: dict[str, Any] = {}
+
+    def line(self, text: str = "") -> None:
+        """One line of human-facing text (dropped in JSON mode)."""
+        if not self.json_mode:
+            print(text, file=self._stream)
+
+    def error(self, text: str) -> None:
+        """Diagnostics: stderr in both modes."""
+        print(text, file=self._err)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one field of the machine-readable result."""
+        self._payload[key] = value
+
+    def emit(self) -> None:
+        """Flush the JSON payload (no-op in text mode or when empty)."""
+        if self.json_mode and self._payload:
+            json.dump(self._payload, self._stream, indent=2, default=str)
+            self._stream.write("\n")
+
+
+def _cmd_info(args: argparse.Namespace, out: OutputWriter) -> int:
     import repro
 
     subsystems = [
@@ -37,17 +79,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.rewards", "Shapley, pricing, distribution, economics"),
         ("repro.identity", "device keys, signed readings, verification"),
         ("repro.core", "the marketplace facade (paper Fig. 1/2)"),
+        ("repro.telemetry", "metrics registry, span tracing, exporters"),
     ]
-    print(f"PDS2 reproduction, version {repro.__version__}")
-    print("Giaretta et al., ICDE 2021 — full implementation\n")
+    out.line(f"PDS2 reproduction, version {repro.__version__}")
+    out.line("Giaretta et al., ICDE 2021 — full implementation\n")
     for name, description in subsystems:
-        print(f"  {name:<18} {description}")
-    print("\nSee DESIGN.md for the system inventory and EXPERIMENTS.md for "
-          "the paper-vs-measured record.")
+        out.line(f"  {name:<18} {description}")
+    out.line("\nSee DESIGN.md for the system inventory and EXPERIMENTS.md "
+             "for the paper-vs-measured record.")
+    out.set("version", repro.__version__)
+    out.set("subsystems", [name for name, _ in subsystems])
     return 0
 
 
-def _cmd_quickstart(args: argparse.Namespace) -> int:
+def _cmd_quickstart(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro import telemetry
     from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
     from repro.ml.datasets import (
         make_iot_activity,
@@ -81,8 +127,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
         required_confirmations=min(2, args.executors),
         dp_epsilon=args.dp_epsilon,
     )
-    print(f"running workload with {args.providers} providers, "
-          f"{args.executors} executors…")
+    out.line(f"running workload with {args.providers} providers, "
+             f"{args.executors} executors…")
     if args.trace:
         from repro.core.events import JSONLSink
 
@@ -92,22 +138,37 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
                 report = market.run_workload(consumer, spec)
             finally:
                 market.events.detach(sink)
-        print(f"event trace written to {args.trace} "
-              f"(replay: python -m repro trace {args.trace})")
+        # Sidecar snapshot of the process-wide registry: `repro metrics`
+        # prefers this exact view over a replay-derived approximation.
+        metrics_path = args.trace + ".metrics.json"
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.snapshot(telemetry.REGISTRY), fh, indent=2)
+        out.line(f"event trace written to {args.trace} "
+                 f"(replay: python -m repro trace {args.trace})")
+        out.line(f"metrics snapshot written to {metrics_path} "
+                 f"(view: python -m repro metrics {metrics_path})")
+        out.set("trace", args.trace)
+        out.set("metrics_snapshot", metrics_path)
     else:
         report = market.run_workload(consumer, spec)
-    print(f"accuracy: {report.consumer_score:.3f}")
-    print(f"gas used: {report.gas_used:,}")
-    print(f"rewards paid: {report.total_paid:,} "
-          f"across {len(report.payouts)} recipients")
+    out.line(f"accuracy: {report.consumer_score:.3f}")
+    out.line(f"gas used: {report.gas_used:,}")
+    out.line(f"rewards paid: {report.total_paid:,} "
+             f"across {len(report.payouts)} recipients")
     if report.achieved_epsilon is not None:
-        print("differential privacy: epsilon = "
-              f"{report.achieved_epsilon:.2f}")
-    print(f"audit clean: {report.audit.clean}")
+        out.line("differential privacy: epsilon = "
+                 f"{report.achieved_epsilon:.2f}")
+    out.line(f"audit clean: {report.audit.clean}")
+    out.set("accuracy", report.consumer_score)
+    out.set("gas_used", report.gas_used)
+    out.set("rewards_paid", report.total_paid)
+    out.set("recipients", len(report.payouts))
+    out.set("dp_epsilon", report.achieved_epsilon)
+    out.set("audit_clean", report.audit.clean)
     return 0 if report.audit.clean else 1
 
 
-def _cmd_experiments(args: argparse.Namespace) -> int:
+def _cmd_experiments(args: argparse.Namespace, out: OutputWriter) -> int:
     experiments = [
         ("E1", "five-role lifecycle end to end", "bench_e1_lifecycle.py"),
         ("E2", "Fig. 3 hardware configurations",
@@ -138,13 +199,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
          "bench_e16_fault_injection.py"),
         ("E17", "executor economics", "bench_e17_economics.py"),
     ]
-    print("experiment suite (run: pytest benchmarks/ --benchmark-only)\n")
+    out.line("experiment suite (run: pytest benchmarks/ --benchmark-only)\n")
     for exp_id, title, bench in experiments:
-        print(f"  {exp_id:<4} {title:<48} benchmarks/{bench}")
+        out.line(f"  {exp_id:<4} {title:<48} benchmarks/{bench}")
+    out.set("experiments", [
+        {"id": exp_id, "title": title, "benchmark": f"benchmarks/{bench}"}
+        for exp_id, title, bench in experiments
+    ])
     return 0
 
 
-def _cmd_aggregate(args: argparse.Namespace) -> int:
+def _cmd_aggregate(args: argparse.Namespace, out: OutputWriter) -> int:
     from repro.core.aggregates import (
         AggregateKind,
         AggregateResult,
@@ -183,26 +248,31 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
         enclave.provision_plain(label, blob)
     enclave.run(agg_spec=spec.to_dict(), noise_seed=args.seed)
     result = AggregateResult.from_output(enclave.extract_output())
-    print(f"{result.kind.value} over feature {args.field} "
-          f"({result.total_samples} samples from "
-          f"{len(result.sample_counts)} providers)")
+    out.line(f"{result.kind.value} over feature {args.field} "
+             f"({result.total_samples} samples from "
+             f"{len(result.sample_counts)} providers)")
     if result.dp_epsilon is not None:
-        print("released with differential privacy, "
-              f"epsilon = {result.dp_epsilon}")
-    print(f"statistic: {result.statistic}")
+        out.line("released with differential privacy, "
+                 f"epsilon = {result.dp_epsilon}")
+    out.line(f"statistic: {result.statistic}")
+    out.set("kind", result.kind.value)
+    out.set("field", args.field)
+    out.set("total_samples", result.total_samples)
+    out.set("dp_epsilon", result.dp_epsilon)
+    out.set("statistic", result.statistic)
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace(args: argparse.Namespace, out: OutputWriter) -> int:
     from repro.core.events import phase_gas_totals, read_jsonl_events
 
     try:
         events = read_jsonl_events(args.run)
     except OSError as exc:
-        print(f"cannot read trace {args.run!r}: {exc}", file=sys.stderr)
+        out.error(f"cannot read trace {args.run!r}: {exc}")
         return 1
     if not events:
-        print(f"no events in {args.run!r}", file=sys.stderr)
+        out.error(f"no events in {args.run!r}")
         return 1
 
     sessions: list[str] = []
@@ -211,38 +281,126 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             sessions.append(event.session_id)
     if args.session:
         if args.session not in sessions:
-            print(f"session {args.session!r} not in trace "
-                  f"(have: {', '.join(sessions) or 'none'})", file=sys.stderr)
+            out.error(f"session {args.session!r} not in trace "
+                      f"(have: {', '.join(sessions) or 'none'})")
             return 1
         selected = args.session
     elif sessions:
         selected = sessions[-1]  # default: the most recent session
     else:
-        print("trace has only platform-level events (no sessions)",
-              file=sys.stderr)
+        out.error("trace has only platform-level events (no sessions)")
         return 1
 
     timeline = [e for e in events if e.session_id == selected]
-    print(f"session {selected} — {len(timeline)} events"
-          + (f" (of {len(sessions)} sessions in trace)"
-             if len(sessions) > 1 else ""))
+    out.line(f"session {selected} — {len(timeline)} events"
+             + (f" (of {len(sessions)} sessions in trace)"
+                if len(sessions) > 1 else ""))
     header = (f"{'#':>4}  {'clock':>6}  {'phase':<18} {'event':<26} "
               f"{'gas':>8}  {'block':>5}  actor")
-    print(header)
-    print("-" * len(header))
+    out.line(header)
+    out.line("-" * len(header))
     for event in timeline:
         block = str(event.block_height) if event.block_height >= 0 else ""
         gas = str(event.gas_delta) if event.gas_delta else ""
         actor = event.actor[:14] + "…" if len(event.actor) > 15 else event.actor
-        print(f"{event.sequence:>4}  {event.sim_clock:>6.1f}  "
-              f"{event.phase:<18} {event.name:<26} {gas:>8}  {block:>5}  "
-              f"{actor}")
-    print("-" * len(header))
+        out.line(f"{event.sequence:>4}  {event.sim_clock:>6.1f}  "
+                 f"{event.phase:<18} {event.name:<26} {gas:>8}  {block:>5}  "
+                 f"{actor}")
+    out.line("-" * len(header))
     total_gas = sum(e.gas_delta for e in timeline)
-    print(f"total gas: {total_gas:,}")
+    out.line(f"total gas: {total_gas:,}")
     for phase, gas in phase_gas_totals(timeline).items():
         if gas:
-            print(f"  {phase:<20} {gas:>10,}")
+            out.line(f"  {phase:<20} {gas:>10,}")
+    out.set("session", selected)
+    out.set("events", len(timeline))
+    out.set("total_gas", total_gas)
+    out.set("gas_by_phase",
+            {p: g for p, g in phase_gas_totals(timeline).items() if g})
+    return 0
+
+
+def _load_metrics_registry(source: str, out: OutputWriter):
+    """Build a registry from either a snapshot sidecar or a JSONL trace.
+
+    ``*.json`` sources are parsed as ``pds2-metrics-snapshot`` documents
+    (the exact registry state at the end of a run); anything else is
+    treated as an event trace and replayed into the derived event/gas/span
+    metrics.  Returns None after printing an error.
+    """
+    from repro.errors import TelemetryError
+    from repro.telemetry import MetricsRegistry, registry_from_events
+
+    if source.endswith(".json"):
+        try:
+            with open(source, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            out.error(f"cannot read snapshot {source!r}: {exc}")
+            return None
+        except json.JSONDecodeError as exc:
+            out.error(f"snapshot {source!r} is not valid JSON: {exc}")
+            return None
+        try:
+            return MetricsRegistry.from_snapshot(data)
+        except TelemetryError as exc:
+            out.error(f"snapshot {source!r} rejected: {exc}")
+            return None
+    from repro.core.events import read_jsonl_events
+
+    try:
+        events = read_jsonl_events(source)
+    except OSError as exc:
+        out.error(f"cannot read trace {source!r}: {exc}")
+        return None
+    if not events:
+        out.error(f"no events in {source!r}")
+        return None
+    return registry_from_events(events)
+
+
+def _cmd_metrics(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro.telemetry import snapshot, to_prometheus
+
+    registry = _load_metrics_registry(args.source, out)
+    if registry is None:
+        return 1
+    exposition = to_prometheus(registry)
+    if not exposition.strip():
+        out.error(f"{args.source!r} produced an empty registry")
+        return 1
+    if out.json_mode:
+        out.set("source", args.source)
+        out.set("snapshot", snapshot(registry))
+    else:
+        out.line(exposition.rstrip("\n"))
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro.core.events import read_jsonl_events
+    from repro.telemetry import render_span_tree, spans_from_events
+
+    try:
+        events = read_jsonl_events(args.run)
+    except OSError as exc:
+        out.error(f"cannot read trace {args.run!r}: {exc}")
+        return 1
+    spans = spans_from_events(events)
+    if args.session:
+        spans = [s for s in spans
+                 if s.attributes.get("session_id") == args.session]
+    if not spans:
+        out.error(f"no finished spans in {args.run!r}"
+                  + (f" for session {args.session!r}" if args.session
+                     else "")
+                  + " (was the trace written with span support?)")
+        return 1
+    out.line(f"{len(spans)} spans from {args.run}")
+    out.line(render_span_tree(spans))
+    out.set("trace", args.run)
+    out.set("span_count", len(spans))
+    out.set("spans", [span.to_dict() for span in spans])
     return 0
 
 
@@ -254,9 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("info", help="package summary").set_defaults(
-        handler=_cmd_info
-    )
+    def add_json_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", action="store_true",
+                         help="emit one JSON document instead of text")
+
+    info = subparsers.add_parser("info", help="package summary")
+    add_json_flag(info)
+    info.set_defaults(handler=_cmd_info)
 
     quickstart = subparsers.add_parser(
         "quickstart", help="run one workload end to end"
@@ -267,12 +429,16 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.add_argument("--dp-epsilon", type=float, default=None)
     quickstart.add_argument("--trace", default=None, metavar="PATH",
                             help="write the lifecycle event trace to a "
-                                 "JSONL file (replay with `repro trace`)")
+                                 "JSONL file (replay with `repro trace`) "
+                                 "plus a PATH.metrics.json snapshot")
+    add_json_flag(quickstart)
     quickstart.set_defaults(handler=_cmd_quickstart)
 
-    subparsers.add_parser(
+    experiments = subparsers.add_parser(
         "experiments", help="list the experiment suite"
-    ).set_defaults(handler=_cmd_experiments)
+    )
+    add_json_flag(experiments)
+    experiments.set_defaults(handler=_cmd_experiments)
 
     aggregate = subparsers.add_parser(
         "aggregate", help="run a statistical aggregate workload in a TEE"
@@ -283,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("--field", type=int, default=0)
     aggregate.add_argument("--dp-epsilon", type=float, default=None)
     aggregate.add_argument("--seed", type=int, default=7)
+    add_json_flag(aggregate)
     aggregate.set_defaults(handler=_cmd_aggregate)
 
     trace = subparsers.add_parser(
@@ -293,7 +460,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--session", default=None,
                        help="session id to replay (default: the last "
                             "session in the trace)")
+    add_json_flag(trace)
     trace.set_defaults(handler=_cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render run metrics in Prometheus text format"
+    )
+    metrics.add_argument("source",
+                         help="a *.metrics.json snapshot written by "
+                              "`repro quickstart --trace`, or a JSONL "
+                              "trace to replay into derived metrics")
+    add_json_flag(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    spans = subparsers.add_parser(
+        "spans", help="render the span tree recorded in a trace"
+    )
+    spans.add_argument("run", help="path to a JSONL trace written by "
+                                   "`repro quickstart --trace`")
+    spans.add_argument("--session", default=None,
+                       help="only spans of one session id")
+    add_json_flag(spans)
+    spans.set_defaults(handler=_cmd_spans)
     return parser
 
 
@@ -301,7 +489,18 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    out = OutputWriter(json_mode=getattr(args, "json", False))
+    try:
+        code = args.handler(args, out)
+        out.emit()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly, and hand
+        # stdout a dead fd so interpreter shutdown doesn't re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -29,6 +29,10 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 class LifecycleEvent:
     """One observable step of a workload lifecycle.
 
+    ``wall_time`` comes from ``time.perf_counter()`` — a monotonic clock,
+    so *deltas* between events are meaningful even across NTP steps; it is
+    not an absolute time.  ``timestamp`` is the absolute ``time.time()``
+    for human-readable JSONL records and must never be subtracted.
     ``gas_delta`` is zero for purely off-chain steps; for chain events it
     is the gas consumed by the step.  ``block_height`` is ``-1`` when the
     event is not tied to a specific block.
@@ -43,6 +47,7 @@ class LifecycleEvent:
     gas_delta: int = 0
     block_height: int = -1
     actor: str = ""
+    timestamp: float = 0.0
     data: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -61,6 +66,7 @@ class LifecycleEvent:
             "gas_delta": self.gas_delta,
             "block_height": self.block_height,
             "actor": self.actor,
+            "timestamp": self.timestamp,
             "data": dict(self.data),
         }
 
@@ -77,6 +83,7 @@ class LifecycleEvent:
             gas_delta=int(record.get("gas_delta", 0)),
             block_height=int(record.get("block_height", -1)),
             actor=record.get("actor", ""),
+            timestamp=float(record.get("timestamp", 0.0)),
             data=record.get("data", {}),
         )
 
@@ -124,20 +131,45 @@ class RingBufferSink:
 
 
 class JSONLSink:
-    """Append every event as one JSON line to ``path``."""
+    """Append every event as one JSON line to ``path``.
 
-    def __init__(self, path: str):
+    ``flush_every`` trades durability for throughput: the default of 1
+    flushes after every event, so a session killed mid-run loses at most
+    the line being written (``read_jsonl_events`` tolerates that torn
+    tail).  Larger values batch OS writes for long benchmark traces; call
+    :meth:`flush` (or close, or exit the ``with`` block) to force the
+    buffer out.
+    """
+
+    def __init__(self, path: str, flush_every: int = 1):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = path
+        self.flush_every = flush_every
+        self._pending = 0
         self._handle = open(path, "a", encoding="utf-8")
 
     def emit(self, event: LifecycleEvent) -> None:
         self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
         self._handle.write("\n")
-        self._handle.flush()
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (no-op on a closed sink)."""
+        if not self._handle.closed:
+            self._handle.flush()
+        self._pending = 0
 
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.flush()
             self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
 
     def __enter__(self) -> "JSONLSink":
         return self
@@ -147,46 +179,104 @@ class JSONLSink:
 
 
 def read_jsonl_events(path: str) -> list[LifecycleEvent]:
-    """Load a JSONL trace file back into events (the ``trace`` command)."""
+    """Load a JSONL trace file back into events (the ``trace`` command).
+
+    A truncated *final* line — the signature of a writer killed mid-write —
+    is dropped silently; corruption anywhere else still raises, because a
+    torn middle means the file was edited, not interrupted.
+    """
     events = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(LifecycleEvent.from_dict(json.loads(line)))
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from an interrupted writer
+            raise
+        events.append(LifecycleEvent.from_dict(record))
     return events
 
 
 class MetricsSink:
-    """Cheap counters over the event stream (benchmark/observability sink)."""
+    """Event-stream metrics over a telemetry registry.
 
-    def __init__(self) -> None:
-        self.events_by_name: Counter[str] = Counter()
-        self.events_by_phase: Counter[str] = Counter()
-        self.gas_by_phase: Counter[str] = Counter()
-        self.total_events = 0
-        self.total_gas = 0
+    Historically this kept its own ad-hoc ``Counter`` dicts; it is now a
+    thin adapter feeding a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    (its own private one by default, so attaching a sink never pollutes the
+    process registry).  The original attribute API (``total_gas``,
+    ``events_by_name``…) is preserved as views over the registry.
+    """
+
+    def __init__(self, registry=None) -> None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._by_name = self.registry.counter(
+            "pds2_events_total", "Lifecycle events by name",
+            labelnames=("name",),
+        )
+        self._by_phase = self.registry.counter(
+            "pds2_events_by_phase_total", "Lifecycle events by phase",
+            labelnames=("phase",),
+        )
+        self._gas = self.registry.counter(
+            "pds2_gas_used_total", "Gas consumed, by lifecycle phase",
+            labelnames=("phase",),
+        )
 
     def emit(self, event: LifecycleEvent) -> None:
-        self.total_events += 1
-        self.events_by_name[event.name] += 1
-        self.events_by_phase[event.phase] += 1
+        self._by_name.labels(name=event.name).inc()
+        self._by_phase.labels(phase=event.phase).inc()
         if event.gas_delta:
-            self.gas_by_phase[event.phase] += event.gas_delta
-            self.total_gas += event.gas_delta
+            self._gas.labels(phase=event.phase).inc(event.gas_delta)
+
+    # -- the original counter API, as registry views -------------------------
+
+    @property
+    def total_events(self) -> int:
+        return int(self._by_name.total())
+
+    @property
+    def total_gas(self) -> int:
+        return int(self._gas.total())
+
+    @property
+    def events_by_name(self) -> Counter[str]:
+        return Counter({s.labels["name"]: int(s.value)
+                        for s in self._by_name.samples() if s.value})
+
+    @property
+    def events_by_phase(self) -> Counter[str]:
+        return Counter({s.labels["phase"]: int(s.value)
+                        for s in self._by_phase.samples() if s.value})
+
+    @property
+    def gas_by_phase(self) -> Counter[str]:
+        return Counter({s.labels["phase"]: int(s.value)
+                        for s in self._gas.samples() if s.value})
 
 
 class EventBus:
     """Publish/subscribe fan-out for lifecycle events.
 
-    The bus assigns the global sequence number and the wall clock; callers
-    supply everything else.  Sink failures propagate — a broken sink is a
-    configuration error, not something to swallow silently.
+    The bus assigns the global sequence number and both wall clocks —
+    ``clock`` (``time.perf_counter``: monotonic, duration-safe) for
+    ``wall_time`` and ``abs_clock`` (``time.time``) for the absolute
+    ``timestamp`` — callers supply everything else.  Sink failures
+    propagate — a broken sink is a configuration error, not something to
+    swallow silently.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic,
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 abs_clock: Callable[[], float] = time.time,
                  sinks: Iterable[EventSink] | None = None):
         self._clock = clock
+        self._abs_clock = abs_clock
         self._sinks: list[EventSink] = list(sinks or ())
         self._sequence = 0
 
@@ -214,6 +304,7 @@ class EventBus:
             name=name,
             sequence=self._sequence,
             wall_time=self._clock(),
+            timestamp=self._abs_clock(),
             sim_clock=sim_clock,
             gas_delta=gas_delta,
             block_height=block_height,
@@ -226,7 +317,12 @@ class EventBus:
 
 
 def phase_wall_times(events: Iterable[LifecycleEvent]) -> dict[str, float]:
-    """Wall-clock seconds spent per phase, from started/completed pairs."""
+    """Wall-clock seconds spent per phase, from started/completed pairs.
+
+    Durations come from ``wall_time`` (monotonic ``perf_counter``), never
+    from the absolute ``timestamp`` field — wall-of-day clocks can step
+    backwards under NTP and would produce negative phase times.
+    """
     started: dict[str, float] = {}
     durations: dict[str, float] = {}
     for event in events:

@@ -447,37 +447,57 @@ class WorkloadSession:
         self.state = next_state
 
     def run(self) -> Any:
-        """Drive every phase in order; returns the kind-shaped result."""
+        """Drive every phase in order; returns the kind-shaped result.
+
+        The whole run is one ``lifecycle.session`` span; each phase nests a
+        ``lifecycle.phase.<name>`` child under it (and chain mining,
+        enclave runs etc. nest further down), so a trace renders as a
+        root-to-leaf time decomposition of the Fig. 2 sequence.
+        """
         with self.market.active_session(self):
-            self.emit("session.started",
-                      workload_id=self.kind.workload_id,
-                      kind=type(self.kind).__name__)
-            for phase in LIFECYCLE_PHASES:
-                self._run_phase(phase)
-            self.advance(TERMINAL_COMPLETE)
-            self.emit("session.completed", gas_used=self.gas_used,
-                      blocks_mined=self.blocks_mined)
+            with self.market.tracer.span(
+                "lifecycle.session", session_id=self.session_id,
+                workload_id=self.kind.workload_id,
+                kind=type(self.kind).__name__,
+            ) as root:
+                self.emit("session.started",
+                          workload_id=self.kind.workload_id,
+                          kind=type(self.kind).__name__)
+                for phase in LIFECYCLE_PHASES:
+                    self._run_phase(phase)
+                self.advance(TERMINAL_COMPLETE)
+                root.set_attribute("gas_used", self.gas_used)
+                root.set_attribute("blocks_mined", self.blocks_mined)
+                self.emit("session.completed", gas_used=self.gas_used,
+                          blocks_mined=self.blocks_mined)
         return self.kind.build_result(self)
 
     def _run_phase(self, phase: "LifecyclePhase") -> None:
         self.advance(phase.name)
         gas_before = self.market.chain.total_gas_used
         self.emit("phase.started")
-        try:
-            interceptor = self.interceptors.get(phase.name)
-            if interceptor is not None:
-                interceptor(self, phase)
-            else:
-                phase.run(self)
-        except LifecycleError as err:
-            if not err.snapshot:
-                err.snapshot = self.snapshot()
-            self._fail(phase, err)
-            raise
-        except PDS2Error as err:
-            failure = phase.failure_class(str(err), snapshot=self.snapshot())
-            self._fail(phase, failure)
-            raise failure from err
+        with self.market.tracer.span(
+            f"lifecycle.phase.{phase.name}", session_id=self.session_id,
+        ) as span:
+            try:
+                interceptor = self.interceptors.get(phase.name)
+                if interceptor is not None:
+                    interceptor(self, phase)
+                else:
+                    phase.run(self)
+            except LifecycleError as err:
+                if not err.snapshot:
+                    err.snapshot = self.snapshot()
+                self._fail(phase, err)
+                raise
+            except PDS2Error as err:
+                failure = phase.failure_class(str(err),
+                                              snapshot=self.snapshot())
+                self._fail(phase, failure)
+                raise failure from err
+            span.set_attribute(
+                "gas", self.market.chain.total_gas_used - gas_before
+            )
         self.emit("phase.completed",
                   gas_used=self.market.chain.total_gas_used - gas_before)
 

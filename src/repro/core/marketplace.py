@@ -69,6 +69,7 @@ from repro.storage.local import LocalEncryptedStore
 from repro.storage.semantic import Ontology, SemanticAnnotation
 from repro.tee.attestation import AttestationService, Quote
 from repro.tee.enclave import Enclave, TEEPlatform
+from repro import telemetry
 from repro.utils.rng import derive_rng
 
 #: Genesis balance granted to every actor wallet (covers gas + escrows).
@@ -124,6 +125,17 @@ class Marketplace:
         self.events.attach(self.event_log)
         self._active: Optional[WorkloadSession] = None
         self._session_counter = 0
+
+        # Telemetry: this marketplace drives the process tracer's sim clock
+        # and publishes every finished span as a `span.end` event, which is
+        # how spans reach JSONL traces and `python -m repro spans`.  The
+        # metrics registry is process-global (subsystems hold module-level
+        # handles); the tracer clock follows whichever marketplace was
+        # constructed last — one simulation at a time, like the sim itself.
+        self.metrics = telemetry.REGISTRY
+        self.tracer = telemetry.tracer()
+        self.tracer.sim_clock = lambda: self.clock
+        self.tracer.on_finish = self._record_span
 
         consensus = ProofOfAuthority.with_generated_validators(
             validators, derive_rng(seed, "validators")
@@ -237,6 +249,12 @@ class Marketplace:
                 actor=log.address,
                 data={"log_name": log.name, "log_address": log.address},
             )
+
+    def _record_span(self, span: "telemetry.Span") -> None:
+        """Tracer hook: every finished span becomes a ``span.end`` event
+        (attributed to the active session, so a session's trace carries
+        its own span tree)."""
+        self.publish_event("span.end", data=span.to_dict())
 
     def _record_attestation(self, quote: Quote) -> None:
         """Attestation hook: a quote passed verification."""

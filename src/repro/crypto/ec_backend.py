@@ -30,6 +30,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Optional
 
+from repro.telemetry import metrics as _tm
+
 # secp256k1 domain parameters (y^2 = x^3 + 7 over F_p, a = 0).
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
 N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
@@ -48,6 +50,18 @@ _FB_TABLE_SIZE = (1 << _FB_WINDOW_BITS) - 1  # odd+even digits 1..15
 # wNAF widths: wide for the static G table, narrower for per-call points.
 _WNAF_BASE_WIDTH = 7
 _WNAF_POINT_WIDTH = 5
+
+# Scalar-multiplication call counters, one pre-resolved child per kind so the
+# hot paths pay a single bound-method call each.  Spans are deliberately
+# absent here: these functions sit under crypto.sign/verify timing already.
+_SCALAR_MULTS = _tm.counter(
+    "pds2_crypto_scalar_mult_total",
+    "Elliptic-curve scalar multiplications, by algorithm kind",
+    labelnames=("kind",),
+)
+_SM_BASE = _SCALAR_MULTS.labels(kind="base")
+_SM_POINT = _SCALAR_MULTS.labels(kind="point")
+_SM_DOUBLE = _SCALAR_MULTS.labels(kind="double_base")
 
 
 def field_inverse(value: int) -> int:
@@ -277,6 +291,7 @@ def _point_wnaf_table(x: int, y: int) -> list[AffinePoint]:
 
 def scalar_mult_base(scalar: int) -> AffinePoint:
     """``scalar · G`` via the fixed-base window table (no doublings)."""
+    _SM_BASE.inc()
     scalar %= N
     if scalar == 0:
         return None
@@ -317,6 +332,7 @@ def scalar_mult_base(scalar: int) -> AffinePoint:
 
 def scalar_mult(scalar: int, point: AffinePoint) -> AffinePoint:
     """``scalar · point`` via width-5 wNAF with Jacobian accumulation."""
+    _SM_POINT.inc()
     scalar %= N
     if scalar == 0 or point is None:
         return None
@@ -484,6 +500,7 @@ def double_scalar_mult_base(scalar_g: int, scalar_q: int,
         return scalar_mult_base(scalar_g)
     if scalar_g == 0:
         return scalar_mult(scalar_q, point_q)
+    _SM_DOUBLE.inc()
     table_q = _point_wnaf_table(point_q[0], point_q[1])
     params = _glv_params()
     if params is not None:

@@ -25,6 +25,7 @@ differential tests in ``tests/crypto`` to cross-check every optimized path.
 
 from __future__ import annotations
 
+import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
@@ -40,6 +41,27 @@ from repro.crypto.hashing import (
     keccak256,
 )
 from repro.errors import InvalidKeyError, InvalidSignatureError
+from repro.telemetry import metrics as _tm
+
+# Crypto telemetry: every sign/verify batch the chain and TEE layers issue
+# shows up here, so perf PRs can prove their win from the system's own
+# instruments.  The `cached` label separates real curve work from LRU hits.
+_SIGN_TOTAL = _tm.counter(
+    "pds2_crypto_sign_total", "ECDSA signatures produced"
+)
+_SIGN_SECONDS = _tm.histogram(
+    "pds2_crypto_sign_seconds", "Wall time per ECDSA signature",
+    buckets=_tm.LATENCY_BUCKETS_S,
+)
+_VERIFY_TOTAL = _tm.counter(
+    "pds2_crypto_verify_total", "ECDSA verifications, by path and outcome",
+    labelnames=("cached", "outcome"),
+)
+_VERIFY_SECONDS = _tm.histogram(
+    "pds2_crypto_verify_seconds",
+    "Wall time per uncached ECDSA verification",
+    buckets=_tm.LATENCY_BUCKETS_S,
+)
 
 # secp256k1 domain parameters (y^2 = x^3 + 7 over F_p).
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -209,12 +231,19 @@ class PublicKey:
         cached = _VERIFY_CACHE.get(cache_key)
         if cached is not None:
             _VERIFY_CACHE.move_to_end(cache_key)
+            _VERIFY_TOTAL.labels(
+                cached="yes", outcome="ok" if cached else "fail"
+            ).inc()
             return cached
+        began = _time.perf_counter()
         s_inv = _inverse_mod(s, N)
         u1 = digest * s_inv % N
         u2 = r * s_inv % N
         point = ec_backend.double_scalar_mult_base(u1, u2, (self.x, self.y))
         ok = point is not None and point[0] % N == r
+        _VERIFY_SECONDS.observe(_time.perf_counter() - began)
+        _VERIFY_TOTAL.labels(cached="no",
+                             outcome="ok" if ok else "fail").inc()
         _VERIFY_CACHE[cache_key] = ok
         if len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
             _VERIFY_CACHE.popitem(last=False)
@@ -292,6 +321,7 @@ class PrivateKey:
 
     def sign(self, message: bytes) -> Signature:
         """Sign ``keccak256(message)``, producing a low-s signature."""
+        began = _time.perf_counter()
         digest = hash_to_int(message, N)
         attempt = 0
         while True:
@@ -310,6 +340,8 @@ class PrivateKey:
             if s > N // 2:  # enforce low-s, flipping the parity bit to match
                 s = N - s
                 v ^= 1
+            _SIGN_TOTAL.inc()
+            _SIGN_SECONDS.observe(_time.perf_counter() - began)
             return Signature(r=r, s=s, v=v)
 
 

@@ -143,6 +143,16 @@ class IntegrityError(StorageError):
 
 
 # ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(PDS2Error):
+    """Misuse of the telemetry layer (metric type/label conflicts,
+    label-cardinality explosions, malformed exports)."""
+
+
+# ---------------------------------------------------------------------------
 # Machine learning / network substrate
 # ---------------------------------------------------------------------------
 

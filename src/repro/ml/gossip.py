@@ -36,10 +36,23 @@ from repro.net.topology import (
     neighbors_map,
     random_regular_overlay,
 )
+from repro.telemetry import metrics as _tm
+from repro.telemetry.tracing import tracer as _tracer
 from repro.utils.rng import derive_rng
 
 #: Fixed per-message envelope overhead (headers, age, sample count).
 MESSAGE_OVERHEAD_BYTES = 64
+
+_WAKES = _tm.counter(
+    "pds2_gossip_wakes_total", "Gossip node wake cycles that ran"
+)
+_MERGES = _tm.counter(
+    "pds2_gossip_merges_total", "Model merges performed on message receipt"
+)
+_PUSH_BYTES = _tm.histogram(
+    "pds2_gossip_push_bytes", "Serialized size of pushed model messages",
+    buckets=_tm.BYTES_BUCKETS,
+)
 
 
 @dataclass
@@ -110,6 +123,7 @@ class GossipNode:
         if not self.network.is_online(self.address):
             return
         self.wakes += 1
+        _WAKES.inc()
         self._train_local()
         for _ in range(self.config.push_count):
             if not self.peers:
@@ -129,6 +143,7 @@ class GossipNode:
                 config=self.config.compression,
                 rng=self.rng,
             )
+            _PUSH_BYTES.observe(message.size_bytes)
             self.network.send(self.address, peer, message,
                               message.size_bytes)
 
@@ -157,6 +172,7 @@ class GossipNode:
                 strategy=self.config.merge_strategy,
             )
         self.merges_performed += 1
+        _MERGES.inc()
         if len(self.data):
             self.tracked.model.train_steps(
                 self.data.features, self.data.targets,
@@ -256,14 +272,33 @@ class GossipTrainer:
     def run(self, duration_s: float,
             eval_interval_s: float = 50.0) -> GossipResult:
         """Run the protocol for ``duration_s`` of simulated time."""
-        for node in self.nodes:
-            node.start()
-        history: list[tuple[float, float]] = []
-        checkpoints = np.arange(eval_interval_s, duration_s + 1e-9,
-                                eval_interval_s)
-        for checkpoint in checkpoints:
-            self.simulator.run_until(float(checkpoint))
-            history.append((float(checkpoint), self.mean_score()))
+        tracer = _tracer()
+        saved_clock = tracer.sim_clock
+        # Gossip runs on the discrete-event simulator's clock, not the
+        # marketplace lifecycle clock; rebind for the duration of the run so
+        # span sim-durations line up with ``history`` timestamps.
+        tracer.sim_clock = lambda: self.simulator.now
+        try:
+            with tracer.span("gossip.run", nodes=len(self.nodes),
+                             duration_s=duration_s) as root:
+                for node in self.nodes:
+                    node.start()
+                history: list[tuple[float, float]] = []
+                checkpoints = np.arange(eval_interval_s, duration_s + 1e-9,
+                                        eval_interval_s)
+                for checkpoint in checkpoints:
+                    with tracer.span("gossip.interval",
+                                     until_s=float(checkpoint)) as interval:
+                        self.simulator.run_until(float(checkpoint))
+                        score = self.mean_score()
+                        interval.set_attribute("mean_score", score)
+                    history.append((float(checkpoint), score))
+                root.set_attribute(
+                    "messages", self.network.stats.messages_delivered
+                )
+                root.set_attribute("bytes", self.network.stats.bytes_delivered)
+        finally:
+            tracer.sim_clock = saved_clock
         per_node = [
             node.tracked.model.score(self.test_set.features,
                                      self.test_set.targets)

@@ -19,6 +19,20 @@ from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from repro.errors import SimulationError
+from repro.telemetry import metrics as _tm
+
+# Transport counters, pre-resolved per outcome: send() is the hottest
+# non-numeric loop in the gossip experiments.
+_NET_MESSAGES = _tm.counter(
+    "pds2_net_messages_total", "Messages by transport outcome",
+    labelnames=("outcome",),
+)
+_MSG_SENT = _NET_MESSAGES.labels(outcome="sent")
+_MSG_DELIVERED = _NET_MESSAGES.labels(outcome="delivered")
+_MSG_DROPPED = _NET_MESSAGES.labels(outcome="dropped")
+_NET_BYTES_DELIVERED = _tm.counter(
+    "pds2_net_bytes_delivered_total", "Payload bytes delivered to handlers"
+)
 
 
 class Simulator:
@@ -179,20 +193,25 @@ class Network:
         if not sender.online or not receiver.online:
             sender.messages_dropped += 1
             self.stats.messages_dropped += 1
+            _MSG_DROPPED.inc()
             return False
         transfer_delay = size_bytes / sender.upload_bytes_per_s
         delay = self.link_latency(src, dst) + transfer_delay
         sender.bytes_sent += size_bytes
         sender.messages_sent += 1
+        _MSG_SENT.inc()
 
         def deliver() -> None:
             target = self._nodes.get(dst)
             if target is None or not target.online:
                 self.stats.messages_dropped += 1
+                _MSG_DROPPED.inc()
                 return
             target.bytes_received += size_bytes
             self.stats.messages_delivered += 1
             self.stats.bytes_delivered += size_bytes
+            _MSG_DELIVERED.inc()
+            _NET_BYTES_DELIVERED.inc(size_bytes)
             target.handler.on_message(src, message)
 
         self.simulator.schedule(delay, deliver)

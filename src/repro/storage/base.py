@@ -17,6 +17,20 @@ from dataclasses import dataclass, field
 
 from repro.crypto.hashing import keccak256
 from repro.errors import AccessDeniedError, ObjectNotFoundError
+from repro.telemetry import metrics as _tm
+
+_STORAGE_OPS = _tm.counter(
+    "pds2_storage_ops_total", "Storage operations, by op and backend class",
+    labelnames=("op", "backend"),
+)
+_STORAGE_BYTES = _tm.counter(
+    "pds2_storage_bytes_total", "Bytes moved, by direction and backend class",
+    labelnames=("direction", "backend"),
+)
+_OBJECT_BYTES = _tm.histogram(
+    "pds2_storage_object_bytes", "Size distribution of stored/fetched blobs",
+    buckets=_tm.BYTES_BUCKETS,
+)
 
 
 def content_address(data: bytes) -> str:
@@ -91,6 +105,10 @@ class StorageBackend(abc.ABC):
         if not self._exists(object_id):
             self._store(object_id, StoredObject(data=data, owner=owner))
         self.transfer_log.record_write(len(data))
+        backend = type(self).__name__
+        _STORAGE_OPS.labels(op="put", backend=backend).inc()
+        _STORAGE_BYTES.labels(direction="in", backend=backend).inc(len(data))
+        _OBJECT_BYTES.observe(len(data))
         return object_id
 
     def get(self, object_id: str, requester: str) -> bytes:
@@ -102,6 +120,11 @@ class StorageBackend(abc.ABC):
             )
         self._verify_integrity(object_id, obj.data)
         self.transfer_log.record_read(len(obj.data))
+        backend = type(self).__name__
+        _STORAGE_OPS.labels(op="get", backend=backend).inc()
+        _STORAGE_BYTES.labels(
+            direction="out", backend=backend
+        ).inc(len(obj.data))
         return obj.data
 
     def grant(self, object_id: str, owner: str, grantee: str) -> None:

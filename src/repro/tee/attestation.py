@@ -24,7 +24,17 @@ from typing import Callable
 from repro.crypto.ecdsa import PublicKey, Signature
 from repro.errors import AttestationError
 from repro.tee.enclave import Enclave, TEEPlatform
+from repro.telemetry import metrics as _tm
+from repro.telemetry.tracing import tracer as _tracer
 from repro.utils.serialization import canonical_json_bytes
+
+_QUOTES_PRODUCED = _tm.counter(
+    "pds2_tee_quotes_produced_total", "Attestation quotes produced"
+)
+_VERIFICATIONS = _tm.counter(
+    "pds2_tee_attestations_total", "Quote verifications, by outcome",
+    labelnames=("outcome",),
+)
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,7 @@ class AttestationService:
             enclave.platform.platform_id, enclave.measurement, report_data
         )
         signature = enclave.platform.attestation_key.sign(payload)
+        _QUOTES_PRODUCED.inc()
         return Quote(
             platform_id=enclave.platform.platform_id,
             measurement=enclave.measurement,
@@ -123,6 +134,20 @@ class AttestationService:
         the registered one, or the measurement differs from
         ``expected_measurement`` (when given).
         """
+        try:
+            with _tracer().span("tee.attestation.verify",
+                                platform=quote.platform_id):
+                key = self._verify_checked(quote, expected_measurement)
+        except AttestationError:
+            _VERIFICATIONS.labels(outcome="fail").inc()
+            raise
+        _VERIFICATIONS.labels(outcome="ok").inc()
+        if self.on_verified is not None:
+            self.on_verified(quote)
+        return key
+
+    def _verify_checked(self, quote: Quote,
+                        expected_measurement: bytes | None) -> PublicKey:
         registered = self._platforms.get(quote.platform_id)
         if registered is None:
             raise AttestationError(f"unknown platform {quote.platform_id!r}")
@@ -143,9 +168,6 @@ class AttestationService:
                 "enclave measurement does not match the expected workload code"
             )
         try:
-            key = PublicKey.from_bytes(quote.report_data)
+            return PublicKey.from_bytes(quote.report_data)
         except Exception as exc:  # malformed report data is an attack signal
             raise AttestationError("quote report data is not a public key") from exc
-        if self.on_verified is not None:
-            self.on_verified(quote)
-        return key

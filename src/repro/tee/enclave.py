@@ -35,6 +35,20 @@ from repro.crypto.ecdsa import PrivateKey, PublicKey, shared_secret
 from repro.crypto.hashing import keccak256, sha256
 from repro.crypto.symmetric import Envelope, decrypt, encrypt
 from repro.errors import DecryptionError, EnclaveViolationError, SealingError
+from repro.telemetry import metrics as _tm
+from repro.telemetry.tracing import tracer as _tracer
+
+_LAUNCHES = _tm.counter(
+    "pds2_tee_enclave_launches_total", "Enclaves launched across all platforms"
+)
+_PROVISIONS = _tm.counter(
+    "pds2_tee_provision_total", "Inputs provisioned into enclaves, by kind",
+    labelnames=("kind",),
+)
+_RUN_SECONDS = _tm.histogram(
+    "pds2_tee_enclave_run_seconds", "Wall time of enclave payload execution",
+    buckets=_tm.LATENCY_BUCKETS_S,
+)
 
 
 @dataclass(frozen=True)
@@ -80,7 +94,10 @@ class TEEPlatform:
 
     def launch(self, code: EnclaveCode) -> "Enclave":
         """Instantiate an enclave running ``code`` on this platform."""
-        enclave = Enclave(platform=self, code=code, rng=self._rng)
+        with _tracer().span("tee.enclave.launch", code=code.name,
+                            platform=self.platform_id):
+            enclave = Enclave(platform=self, code=code, rng=self._rng)
+        _LAUNCHES.inc()
         if self.on_launch is not None:
             self.on_launch(enclave)
         return enclave
@@ -153,6 +170,7 @@ class Enclave:
                         sender_public_key: PublicKey) -> None:
         """Accept an encrypted input; decrypt it *inside* the enclave."""
         self.call_transitions += 1
+        _PROVISIONS.labels(kind="encrypted").inc()
         key = shared_secret(self._ephemeral_key, sender_public_key)
         try:
             plaintext = decrypt(key, envelope)
@@ -165,6 +183,7 @@ class Enclave:
     def provision_plain(self, label: str, value: Any) -> None:
         """Accept a non-confidential input (e.g. public hyperparameters)."""
         self.call_transitions += 1
+        _PROVISIONS.labels(kind="plain").inc()
         self._private_inputs[label] = value
 
     # -- execution ---------------------------------------------------------------
@@ -179,9 +198,12 @@ class Enclave:
         if self._ran:
             raise EnclaveViolationError("enclave already executed its payload")
         self.call_transitions += 1
-        self._private_output = self.code.entry_point(
-            dict(self._private_inputs), **kwargs
-        )
+        with _tracer().span("tee.enclave.run", code=self.code.name,
+                            platform=self.platform.platform_id) as span:
+            self._private_output = self.code.entry_point(
+                dict(self._private_inputs), **kwargs
+            )
+        _RUN_SECONDS.observe(span.wall_duration)
         self._ran = True
 
     # -- output extraction ----------------------------------------------------------

@@ -15,6 +15,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import TEEError
+from repro.telemetry import metrics as _tm
+
+# One pre-resolved child per operation; ``select`` is deliberately uncounted
+# because the sort network calls it twice per compare-exchange and the
+# compare-exchange count already captures that work.
+_OBLIVIOUS_OPS = _tm.counter(
+    "pds2_tee_oblivious_ops_total", "Oblivious primitive invocations, by op",
+    labelnames=("op",),
+)
+_OP_ACCESS = _OBLIVIOUS_OPS.labels(op="access")
+_OP_WRITE = _OBLIVIOUS_OPS.labels(op="write")
+_OP_SORT = _OBLIVIOUS_OPS.labels(op="sort")
+_OP_AGGREGATE = _OBLIVIOUS_OPS.labels(op="aggregate_add")
+_SORT_EXCHANGES = _tm.counter(
+    "pds2_tee_oblivious_compare_exchanges_total",
+    "Compare-exchanges executed by bitonic sorts",
+)
 
 
 @dataclass
@@ -50,6 +67,7 @@ def oblivious_access(array: np.ndarray, index: int,
     """
     if not 0 <= index < len(array):
         raise TEEError("oblivious access index out of range")
+    _OP_ACCESS.inc()
     counter = counter if counter is not None else TouchCounter()
     result = 0.0
     for position in range(len(array)):
@@ -64,6 +82,7 @@ def oblivious_write(array: np.ndarray, index: int, value: float,
     """Write ``array[index] = value`` touching every element."""
     if not 0 <= index < len(array):
         raise TEEError("oblivious write index out of range")
+    _OP_WRITE.inc()
     counter = counter if counter is not None else TouchCounter()
     for position in range(len(array)):
         counter.element_touches += 1
@@ -95,7 +114,9 @@ def oblivious_sort(values: np.ndarray,
     branch-free ``flag * a`` arithmetic into NaN), runs the bitonic network,
     and strips the padding.  Returns a new ascending array.
     """
+    _OP_SORT.inc()
     counter = counter if counter is not None else TouchCounter()
+    exchanges_before = counter.compare_exchanges
     n = len(values)
     if n <= 1:
         return np.array(values, dtype=float)
@@ -114,6 +135,7 @@ def oblivious_sort(values: np.ndarray,
                     _compare_exchange(padded, i, partner, ascending, counter)
             j //= 2
         k *= 2
+    _SORT_EXCHANGES.inc(counter.compare_exchanges - exchanges_before)
     return padded[:n]
 
 
@@ -139,6 +161,7 @@ class ObliviousAggregator:
         """Accumulate ``value`` into ``bucket`` touching all buckets."""
         if not 0 <= bucket < self.num_buckets:
             raise TEEError("bucket index out of range")
+        _OP_AGGREGATE.inc()
         for position in range(self.num_buckets):
             self.counter.element_touches += 1
             match = 1.0 if position == bucket else 0.0

@@ -1,0 +1,273 @@
+"""Telemetry exporters: Prometheus text, JSON snapshots, span trees.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` renders a registry in the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, cumulative ``le``
+  histogram buckets) — what a scraper or the CI smoke job reads;
+* :func:`snapshot` / :class:`~repro.telemetry.metrics.MetricsRegistry.from_snapshot`
+  round-trip a registry through JSON — what benchmark results files and
+  ``quickstart --trace`` sidecars carry;
+* :func:`render_span_tree` prints a flame-style nested tree of finished
+  spans with both clocks — what ``python -m repro spans`` shows.
+
+:func:`parse_prometheus` exists so the exposition format is *tested* as a
+round-trip, not just eyeballed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import Span, build_span_tree
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.metric_type}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, child in metric.children():
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, child in metric.children():
+                cumulative = child.cumulative_counts()
+                edges = [*metric.buckets, math.inf]
+                for edge, count in zip(edges, cumulative):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(edge)
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(f"{metric.name}_sum{_format_labels(labels)} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{_format_labels(labels)} "
+                             f"{child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str],
+                                                         ...]], float]:
+    """Parse exposition text back into ``{(name, sorted labels): value}``.
+
+    Covers the subset :func:`to_prometheus` emits (which is the subset the
+    round-trip tests assert on); malformed lines raise
+    :class:`TelemetryError`.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_part, _, value_part = rest.rpartition("} ")
+            if not _:
+                raise TelemetryError(f"malformed sample line: {raw!r}")
+            labels = {}
+            # Our emitter never puts commas/braces inside label values, so a
+            # simple split is a faithful inverse.
+            for pair in label_part.split(","):
+                key, _, quoted = pair.partition("=")
+                if not quoted.startswith('"') or not quoted.endswith('"'):
+                    raise TelemetryError(f"malformed label in: {raw!r}")
+                value = (quoted[1:-1].replace('\\"', '"')
+                         .replace("\\n", "\n").replace("\\\\", "\\"))
+                labels[key] = value
+        else:
+            parts = line.rsplit(None, 1)
+            if len(parts) != 2:
+                raise TelemetryError(f"malformed sample line: {raw!r}")
+            name, value_part = parts
+            labels = {}
+        value = math.inf if value_part == "+Inf" else float(value_part)
+        samples[(name.strip(), tuple(sorted(labels.items())))] = value
+    return samples
+
+
+def registry_samples(registry: MetricsRegistry) -> dict[
+        tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Flatten a registry into the same shape :func:`parse_prometheus`
+    returns, for round-trip comparisons."""
+    flat: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for metric in registry.collect():
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, child in metric.children():
+                flat[(metric.name, tuple(sorted(labels.items())))] = \
+                    child.value
+        elif isinstance(metric, Histogram):
+            for labels, child in metric.children():
+                cumulative = child.cumulative_counts()
+                edges = [*metric.buckets, math.inf]
+                for edge, count in zip(edges, cumulative):
+                    key = dict(labels)
+                    key["le"] = _format_value(edge)
+                    flat[(f"{metric.name}_bucket",
+                          tuple(sorted(key.items())))] = float(count)
+                base = tuple(sorted(labels.items()))
+                flat[(f"{metric.name}_sum", base)] = child.sum
+                flat[(f"{metric.name}_count", base)] = float(child.count)
+    return flat
+
+
+# ---------------------------------------------------------------------------
+# JSON snapshot
+# ---------------------------------------------------------------------------
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """JSON-serializable snapshot (inverse:
+    :meth:`MetricsRegistry.from_snapshot`)."""
+    return registry.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Span tree (flame-style) rendering
+# ---------------------------------------------------------------------------
+
+_INTERESTING_ATTRS = ("gas", "gas_used", "bytes", "messages", "transactions",
+                      "outputs", "providers", "executors", "status_detail")
+
+
+def _span_label(span: Span) -> str:
+    parts = [f"{span.name}",
+             f"sim={span.sim_duration:.1f}",
+             f"wall={span.wall_duration * 1000.0:.2f}ms"]
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+    for key in _INTERESTING_ATTRS:
+        if key in span.attributes:
+            parts.append(f"{key}={span.attributes[key]}")
+    return "  ".join(parts)
+
+
+def render_span_tree(spans: Iterable[Span]) -> str:
+    """Render finished spans as an indented tree, roots first.
+
+    The layout is flame-graph-like: each child row sits under its parent
+    with box-drawing guides, so a root-to-leaf read gives the time
+    decomposition of one session.
+    """
+    span_list = list(spans)
+    if not span_list:
+        return "(no spans)"
+    roots, children = build_span_tree(span_list)
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_span_label(span))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + _span_label(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(span.span_id, [])
+        for index, kid in enumerate(kids):
+            walk(kid, child_prefix, index == len(kids) - 1, False)
+
+    for root in roots:
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def spans_from_events(events: Iterable) -> list[Span]:
+    """Extract finished spans from a lifecycle-event stream.
+
+    Duck-typed over anything with ``.name`` and ``.data`` so it works on
+    live :class:`~repro.core.events.LifecycleEvent` objects and on replayed
+    JSONL records alike.
+    """
+    spans = []
+    for event in events:
+        if event.name == "span.end":
+            spans.append(Span.from_dict(dict(event.data)))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Trace replay -> registry (for `repro metrics` over a bare trace)
+# ---------------------------------------------------------------------------
+
+
+def registry_from_events(events: Iterable) -> MetricsRegistry:
+    """Rebuild a metrics view from a recorded event stream.
+
+    A JSONL trace may predate (or lack) its metrics sidecar; the event
+    stream still carries enough to derive the event/gas/span metrics, so
+    ``repro metrics trace.jsonl`` always has something faithful to show.
+    Duck-typed like :func:`spans_from_events`.
+    """
+    registry = MetricsRegistry()
+    by_name = registry.counter(
+        "pds2_events_total", "Lifecycle events by name", labelnames=("name",)
+    )
+    by_phase = registry.counter(
+        "pds2_events_by_phase_total", "Lifecycle events by phase",
+        labelnames=("phase",),
+    )
+    gas = registry.counter(
+        "pds2_gas_used_total", "Gas consumed, by lifecycle phase",
+        labelnames=("phase",),
+    )
+    span_sim = registry.histogram(
+        "pds2_span_sim_duration", "Sim-clock span durations by span name",
+        buckets=(0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000),
+        labelnames=("span",),
+    )
+    for event in events:
+        by_name.labels(name=event.name).inc()
+        by_phase.labels(phase=event.phase).inc()
+        if event.gas_delta:
+            gas.labels(phase=event.phase).inc(event.gas_delta)
+        if event.name == "span.end":
+            data = dict(event.data)
+            span_sim.child(span=data.get("name", "?")).observe(
+                float(data.get("sim_duration", 0.0))
+            )
+    return registry

@@ -1,0 +1,441 @@
+"""The metrics registry: labeled counters, gauges, and fixed-bucket histograms.
+
+This is the quantitative half of the telemetry layer (spans are the other
+half, :mod:`repro.telemetry.tracing`).  The design follows the Prometheus
+client-library model scaled down to our single-threaded simulation:
+
+* a metric is created once (get-or-create on a registry, module-level
+  handles in the instrumented subsystems) and updated with plain attribute
+  arithmetic — no locks, no atomics, cheap enough for the chain/crypto hot
+  paths;
+* labels pick a *child* of a metric; children are cached by label-value
+  tuple so steady-state updates are one dict lookup;
+* a **cardinality guard** bounds the number of children per metric, so a
+  mistaken high-cardinality label (an address, a hash) fails loudly instead
+  of silently eating memory;
+* ``Histogram`` uses fixed cumulative-at-export buckets, the exposition
+  format Prometheus scrapers expect.
+
+``REGISTRY`` is the process-wide default every subsystem reports into;
+tests that need isolation construct their own :class:`MetricsRegistry`.
+``REGISTRY.reset()`` zeroes values but keeps every metric and child object
+alive, so module-level handles never dangle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import TelemetryError
+
+#: Default ceiling on distinct label sets per metric (the cardinality guard).
+MAX_LABEL_SETS = 1024
+
+#: Default latency buckets, in seconds (sub-millisecond crypto ops up to
+#: multi-second end-to-end runs).
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default gas buckets (one cheap call up to a full block).
+GAS_BUCKETS: tuple[float, ...] = (
+    1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+)
+
+#: Default payload-size buckets, in bytes.
+BYTES_BUCKETS: tuple[float, ...] = (
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point of a metric child."""
+
+    labels: dict[str, str]
+    value: float
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise TelemetryError(
+            f"metric name {name!r} must be non-empty [a-zA-Z0-9_]"
+        )
+
+
+class _Metric:
+    """Shared child management for every metric type."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: Sequence[str] = (),
+                 max_label_sets: int = MAX_LABEL_SETS):
+        _validate_name(name)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.max_label_sets = max_label_sets
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # The unlabeled child exists eagerly so `metric.inc()` works.
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        """The child for one label-value assignment (cached)."""
+        if set(labels) != set(self.labelnames):
+            raise TelemetryError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_label_sets:
+                raise TelemetryError(
+                    f"metric {self.name!r} exceeded {self.max_label_sets} "
+                    "label sets; a high-cardinality value (address, hash, "
+                    "session id) is probably being used as a label"
+                )
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise TelemetryError(
+                f"metric {self.name!r} is labeled {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    def children(self) -> Iterator[tuple[dict[str, str], object]]:
+        for key, child in self._children.items():
+            yield dict(zip(self.labelnames, key)), child
+
+    def reset(self) -> None:
+        """Zero every child's value; children themselves stay alive."""
+        for child in self._children.values():
+            child._zero()  # type: ignore[attr-defined]
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError("counters only go up")
+        self.value += amount
+
+    def _zero(self) -> None:
+        self.value = 0.0
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, gas, bytes)."""
+
+    metric_type = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def value(self, **labels: object) -> float:
+        child = self.labels(**labels) if labels else self._default_child()
+        return child.value
+
+    def total(self) -> float:
+        """Sum over every label set (quick non-zero checks)."""
+        return sum(child.value for child in self._children.values())
+
+    def samples(self) -> list[Sample]:
+        return [Sample(labels, child.value)
+                for labels, child in self.children()]
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _zero(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, cache sizes)."""
+
+    metric_type = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def value(self, **labels: object) -> float:
+        child = self.labels(**labels) if labels else self._default_child()
+        return child.value
+
+    def samples(self) -> list[Sample]:
+        return [Sample(labels, child.value)
+                for labels, child in self.children()]
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "sum", "count", "_edges")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self._edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives le-semantics: a value exactly on an edge lands
+        # in that edge's bucket, matching Prometheus's `le` convention.
+        self.bucket_counts[bisect_left(self._edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts as Prometheus exports them: cumulative including +Inf."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def _zero(self) -> None:
+        self.bucket_counts = [0] * len(self.bucket_counts)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution (latencies, gas per tx, message sizes)."""
+
+    metric_type = "histogram"
+
+    def __init__(self, name: str, help: str,
+                 buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                 labelnames: Sequence[str] = (),
+                 max_label_sets: int = MAX_LABEL_SETS):
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise TelemetryError(
+                "histogram buckets must be non-empty, sorted, and distinct"
+            )
+        self.buckets = edges
+        super().__init__(name, help, labelnames=labelnames,
+                         max_label_sets=max_label_sets)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def child(self, **labels: object) -> _HistogramChild:
+        return (self.labels(**labels) if labels
+                else self._default_child())  # type: ignore[return-value]
+
+
+class MetricsRegistry:
+    """Get-or-create home for metrics, with conflict detection and export.
+
+    Creation is idempotent: asking for an existing name returns the
+    existing metric, but only when the type, label names, and (for
+    histograms) buckets match — a mismatch is a programming error and
+    raises :class:`TelemetryError` instead of silently splitting a series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- creation ------------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}"
+                )
+            if existing.labelnames != tuple(kwargs.get("labelnames", ())):
+                raise TelemetryError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}"
+                )
+            if (cls is Histogram and "buckets" in kwargs
+                    and existing.buckets != tuple(
+                        float(b) for b in kwargs["buckets"])):
+                raise TelemetryError(
+                    f"histogram {name!r} already registered with different "
+                    "buckets"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = (),
+                max_label_sets: int = MAX_LABEL_SETS) -> Counter:
+        return self._get_or_create(Counter, name, help,
+                                   labelnames=labelnames,
+                                   max_label_sets=max_label_sets)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = (),
+              max_label_sets: int = MAX_LABEL_SETS) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames,
+                                   max_label_sets=max_label_sets)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S,
+                  labelnames: Sequence[str] = (),
+                  max_label_sets: int = MAX_LABEL_SETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets,
+                                   labelnames=labelnames,
+                                   max_label_sets=max_label_sets)
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> Iterable[_Metric]:
+        """Metrics in registration order (the export order)."""
+        return tuple(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Zero every metric; registrations and handles stay valid."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- snapshot round-trip ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric and child value."""
+        out = []
+        for metric in self._metrics.values():
+            entry: dict = {
+                "name": metric.name,
+                "type": metric.metric_type,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["samples"] = [
+                    {"labels": labels,
+                     "bucket_counts": list(child.bucket_counts),
+                     "sum": child.sum, "count": child.count}
+                    for labels, child in metric.children()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": labels, "value": child.value}
+                    for labels, child in metric.children()
+                ]
+            out.append(entry)
+        return {"format": "pds2-metrics-snapshot/1", "metrics": out}
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        if snap.get("format") != "pds2-metrics-snapshot/1":
+            raise TelemetryError("not a pds2 metrics snapshot")
+        registry = cls()
+        for entry in snap["metrics"]:
+            labelnames = tuple(entry.get("labelnames", ()))
+            kind = entry.get("type")
+            if kind == "counter":
+                metric = registry.counter(entry["name"], entry.get("help", ""),
+                                          labelnames=labelnames)
+                for sample in entry["samples"]:
+                    child = (metric.labels(**sample["labels"])
+                             if labelnames else metric._default_child())
+                    child.value = float(sample["value"])
+            elif kind == "gauge":
+                metric = registry.gauge(entry["name"], entry.get("help", ""),
+                                        labelnames=labelnames)
+                for sample in entry["samples"]:
+                    child = (metric.labels(**sample["labels"])
+                             if labelnames else metric._default_child())
+                    child.value = float(sample["value"])
+            elif kind == "histogram":
+                metric = registry.histogram(
+                    entry["name"], entry.get("help", ""),
+                    buckets=entry["buckets"], labelnames=labelnames,
+                )
+                for sample in entry["samples"]:
+                    child = metric.child(**sample["labels"])
+                    child.bucket_counts = [int(c) for c
+                                           in sample["bucket_counts"]]
+                    child.sum = float(sample["sum"])
+                    child.count = int(sample["count"])
+            else:
+                raise TelemetryError(f"unknown metric type {kind!r}")
+        return registry
+
+
+#: The process-wide default registry every instrumented subsystem uses.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "", labelnames: Sequence[str] = (),
+            max_label_sets: int = MAX_LABEL_SETS) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name, help, labelnames=labelnames,
+                            max_label_sets=max_label_sets)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = (),
+          max_label_sets: int = MAX_LABEL_SETS) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name, help, labelnames=labelnames,
+                          max_label_sets=max_label_sets)
+
+
+def histogram(name: str, help: str = "",
+              buckets: Sequence[float] = LATENCY_BUCKETS_S,
+              labelnames: Sequence[str] = (),
+              max_label_sets: int = MAX_LABEL_SETS) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, help, buckets=buckets,
+                              labelnames=labelnames,
+                              max_label_sets=max_label_sets)

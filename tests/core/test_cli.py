@@ -94,3 +94,84 @@ class TestTrace:
     def test_trace_missing_file(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("telemetry") / "run.jsonl")
+        assert main(["quickstart", "--providers", "3", "--executors", "1",
+                     "--seed", "6", "--trace", path]) == 0
+        return path
+
+    def test_quickstart_writes_metrics_sidecar(self, trace_path):
+        import json
+
+        with open(trace_path + ".metrics.json", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        assert snapshot["format"] == "pds2-metrics-snapshot/1"
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert "pds2_chain_blocks_mined_total" in names
+        assert "pds2_crypto_sign_total" in names
+
+    def test_metrics_from_snapshot_is_valid_exposition(self, trace_path,
+                                                       capsys):
+        from repro.telemetry import parse_prometheus
+
+        assert main(["metrics", trace_path + ".metrics.json"]) == 0
+        output = capsys.readouterr().out
+        samples = parse_prometheus(output)  # raises on malformed lines
+        assert samples
+        assert any(name == "pds2_chain_blocks_mined_total"
+                   for name, _ in samples)
+
+    def test_metrics_from_bare_trace_replays_events(self, trace_path,
+                                                    capsys):
+        assert main(["metrics", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "pds2_events_total" in output
+        assert "pds2_span_sim_duration" in output
+
+    def test_metrics_json_mode_round_trips(self, trace_path, capsys):
+        import json
+
+        from repro.telemetry import MetricsRegistry
+
+        assert main(["metrics", trace_path + ".metrics.json", "--json"]) == 0
+        output = capsys.readouterr().out
+        payload = json.loads(output)  # pure JSON, no prose mixed in
+        rebuilt = MetricsRegistry.from_snapshot(payload["snapshot"])
+        assert rebuilt.get("pds2_chain_blocks_mined_total").total() > 0
+
+    def test_metrics_missing_file(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_spans_renders_nested_phase_tree(self, trace_path, capsys):
+        assert main(["spans", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "lifecycle.session" in output
+        for phase in ("deploy", "match", "register_executors",
+                      "attest_and_submit", "start_execution", "execute",
+                      "aggregate", "settle", "audit"):
+            assert f"lifecycle.phase.{phase}" in output
+        assert "├─" in output and "└─" in output
+
+    def test_spans_json_mode(self, trace_path, capsys):
+        import json
+
+        assert main(["spans", trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["span_count"] == len(payload["spans"])
+        names = {span["name"] for span in payload["spans"]}
+        assert "lifecycle.session" in names
+
+    def test_spans_empty_trace_errors(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "nospans.jsonl"
+        record = {"session_id": "s", "phase": "p", "name": "not.a.span",
+                  "sequence": 1, "wall_time": 0.0, "sim_clock": 0.0}
+        path.write_text(json.dumps(record) + "\n")
+        assert main(["spans", str(path)]) == 1
+        assert "no finished spans" in capsys.readouterr().err

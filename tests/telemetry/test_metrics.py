@@ -1,0 +1,199 @@
+"""Tests for the metrics registry: counters, gauges, histograms, guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    GAS_BUCKETS,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_unlabeled_increment(self, registry):
+        c = registry.counter("pds2_test_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_children_are_independent(self, registry):
+        c = registry.counter("pds2_test_total", "", labelnames=("kind",))
+        c.labels(kind="a").inc(3)
+        c.labels(kind="b").inc()
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 1
+        assert c.total() == 4
+
+    def test_counters_only_go_up(self, registry):
+        c = registry.counter("pds2_test_total")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_labeled_metric_rejects_bare_inc(self, registry):
+        c = registry.counter("pds2_test_total", labelnames=("kind",))
+        with pytest.raises(TelemetryError, match="call .labels"):
+            c.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        c = registry.counter("pds2_test_total", labelnames=("kind",))
+        with pytest.raises(TelemetryError, match="takes labels"):
+            c.labels(flavor="x")
+
+    def test_label_values_coerced_to_str(self, registry):
+        c = registry.counter("pds2_test_total", labelnames=("height",))
+        c.labels(height=7).inc()
+        assert c.value(height="7") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("pds2_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_edge_lands_in_that_bucket(self, registry):
+        h = registry.histogram("pds2_h", buckets=(1.0, 2.0, 5.0))
+        h.observe(2.0)  # exactly on an edge: le-semantics, bucket le=2
+        child = h.child()
+        assert child.bucket_counts == [0, 1, 0, 0]
+        assert child.cumulative_counts() == [0, 1, 1, 1]
+
+    def test_below_first_edge(self, registry):
+        h = registry.histogram("pds2_h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        assert h.child().bucket_counts == [1, 0, 0]
+
+    def test_above_last_edge_goes_to_overflow(self, registry):
+        h = registry.histogram("pds2_h", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.child().bucket_counts == [0, 0, 1]
+        assert h.child().cumulative_counts()[-1] == 1
+
+    def test_sum_and_count_track_observations(self, registry):
+        h = registry.histogram("pds2_h", buckets=(1.0,))
+        for v in (0.25, 0.5, 3.0):
+            h.observe(v)
+        assert h.child().count == 3
+        assert h.child().sum == pytest.approx(3.75)
+
+    def test_buckets_must_be_sorted_and_distinct(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("pds2_bad", buckets=(2.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("pds2_bad2", buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("pds2_bad3", buckets=())
+
+
+class TestCardinalityGuard:
+    def test_guard_trips_beyond_max_label_sets(self, registry):
+        c = registry.counter("pds2_guarded_total", labelnames=("addr",),
+                             max_label_sets=4)
+        for i in range(4):
+            c.labels(addr=f"0x{i}").inc()
+        with pytest.raises(TelemetryError, match="high-cardinality"):
+            c.labels(addr="0x999")
+
+    def test_existing_children_still_usable_after_trip(self, registry):
+        c = registry.counter("pds2_guarded_total", labelnames=("addr",),
+                             max_label_sets=2)
+        c.labels(addr="a").inc()
+        c.labels(addr="b").inc()
+        with pytest.raises(TelemetryError):
+            c.labels(addr="c")
+        c.labels(addr="a").inc()
+        assert c.value(addr="a") == 2
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("pds2_x_total", "help")
+        second = registry.counter("pds2_x_total", "other help ignored")
+        assert first is second
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("pds2_x_total")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("pds2_x_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("pds2_x_total", labelnames=("a",))
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.counter("pds2_x_total", labelnames=("b",))
+
+    def test_bucket_conflict_rejected(self, registry):
+        registry.histogram("pds2_h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError, match="different"):
+            registry.histogram("pds2_h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "has space", "has-dash"):
+            with pytest.raises(TelemetryError):
+                registry.counter(bad)
+
+    def test_reset_zeroes_but_keeps_handles(self, registry):
+        c = registry.counter("pds2_x_total", labelnames=("k",))
+        child = c.labels(k="v")
+        child.inc(5)
+        h = registry.histogram("pds2_h", buckets=GAS_BUCKETS)
+        h.observe(10_000)
+        registry.reset()
+        assert child.value == 0
+        assert h.child().count == 0
+        # The same child object keeps working after reset.
+        child.inc()
+        assert c.value(k="v") == 1
+
+    def test_contains_and_get(self, registry):
+        registry.counter("pds2_x_total")
+        assert "pds2_x_total" in registry
+        assert registry.get("pds2_x_total") is not None
+        assert registry.get("absent") is None
+
+
+class TestSnapshotRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        c = registry.counter("pds2_a_total", "a", labelnames=("kind",))
+        c.labels(kind="x").inc(3)
+        c.labels(kind="y").inc(1.5)
+        registry.gauge("pds2_g", "g").set(-2.5)
+        h = registry.histogram("pds2_h", "h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        return registry
+
+    def test_round_trip_preserves_every_value(self):
+        original = self._populated()
+        rebuilt = MetricsRegistry.from_snapshot(original.snapshot())
+        assert rebuilt.get("pds2_a_total").value(kind="x") == 3
+        assert rebuilt.get("pds2_a_total").value(kind="y") == 1.5
+        assert rebuilt.get("pds2_g").value() == -2.5
+        child = rebuilt.get("pds2_h").child()
+        assert child.bucket_counts == [1, 1, 1]
+        assert child.sum == pytest.approx(55.5)
+        assert child.count == 3
+
+    def test_snapshot_survives_json(self):
+        import json
+
+        original = self._populated()
+        wire = json.loads(json.dumps(original.snapshot()))
+        rebuilt = MetricsRegistry.from_snapshot(wire)
+        assert rebuilt.snapshot() == original.snapshot()
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(TelemetryError, match="snapshot"):
+            MetricsRegistry.from_snapshot({"format": "nope", "metrics": []})
