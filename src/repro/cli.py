@@ -7,6 +7,7 @@ Usage::
     python -m repro experiments          # list the experiment suite
     python -m repro aggregate --kind mean --dp-epsilon 1.0
                                          # run a DP aggregate workload
+    python -m repro faults crash-execute # inject a fault, watch recovery
     python -m repro quickstart --trace run.jsonl
     python -m repro trace run.jsonl      # replay a session's event timeline
     python -m repro metrics run.jsonl    # Prometheus view of a run
@@ -168,6 +169,116 @@ def _cmd_quickstart(args: argparse.Namespace, out: OutputWriter) -> int:
     return 0 if report.audit.clean else 1
 
 
+def _cmd_faults(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro import telemetry
+    from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
+    from repro.core.resilience import SCENARIOS, run_with_faults
+    from repro.ml.datasets import (
+        make_iot_activity,
+        split_dirichlet,
+        train_test_split,
+    )
+    from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+
+    scenario = SCENARIOS[args.scenario]
+    out.line(f"scenario {scenario.name}: {scenario.description}")
+
+    rng = np.random.default_rng(args.seed)
+    data = make_iot_activity(900, rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, args.providers, 1.0, rng, min_samples=15)
+
+    market = Marketplace(seed=args.seed)
+    provider_names = []
+    for index, part in enumerate(parts):
+        provider = market.add_provider(
+            f"user-{index}", part,
+            SemanticAnnotation("heart_rate", {"rate_hz": 1.0}),
+        )
+        provider_names.append(provider.name)
+    consumer = market.add_consumer("consumer", validation=validation)
+    executor_names = [
+        market.add_executor(f"executor-{index}").name
+        for index in range(args.executors)
+    ]
+
+    spec = WorkloadSpec(
+        workload_id=f"cli-faults-{scenario.name}",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=80, learning_rate=0.3),
+        reward_pool=600_000,
+        # One provider may be dropped by recovery and the match still holds.
+        min_providers=max(1, args.providers - 1),
+        min_samples=50,
+        required_confirmations=min(2, args.executors),
+    )
+    plan = scenario.plan(executor_names, provider_names)
+    for line in plan.describe():
+        out.line(f"  armed: {line}")
+    recover = not args.no_recovery
+    out.line(f"recovery policy: {'on' if recover else 'off (baseline)'}")
+
+    if args.trace:
+        from repro.core.events import JSONLSink
+
+        with JSONLSink(args.trace) as sink:
+            market.events.attach(sink)
+            try:
+                result = run_with_faults(market, consumer, spec, plan,
+                                         recover=recover)
+            finally:
+                market.events.detach(sink)
+        metrics_path = args.trace + ".metrics.json"
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.snapshot(telemetry.REGISTRY), fh, indent=2)
+        out.line(f"event trace written to {args.trace} "
+                 f"(replay: python -m repro trace {args.trace})")
+        out.line(f"metrics snapshot written to {metrics_path} "
+                 f"(view: python -m repro metrics {metrics_path})")
+        out.set("trace", args.trace)
+        out.set("metrics_snapshot", metrics_path)
+    else:
+        result = run_with_faults(market, consumer, spec, plan,
+                                 recover=recover)
+
+    out.line(f"outcome: {result.outcome} "
+             f"(session {result.session_state}, "
+             f"contract {result.contract_state or 'not deployed'})")
+    out.line(f"faults injected: {len(result.injected)}")
+    for action in result.recoveries:
+        out.line(f"  recovery: {action['action']} in {action['phase']} "
+                 f"-> {action['target']} ({action['reason']})")
+    if result.blacklisted:
+        out.line(f"blacklisted executors: {', '.join(result.blacklisted)}")
+    if result.dropped_providers:
+        out.line("dropped providers: "
+                 f"{', '.join(result.dropped_providers)}")
+    if result.completed:
+        out.line(f"rewards paid: {sum(result.payouts.values()):,} "
+                 f"across {len(result.payouts)} recipients")
+    if result.refunded:
+        out.line(f"escrow refunded to consumer: {result.refunded:,}")
+    if result.error:
+        out.line(f"terminal error: {result.error}")
+    out.line(f"gas used: {result.gas_used:,}")
+    out.set("scenario", scenario.name)
+    out.set("recovery", recover)
+    out.set("outcome", result.outcome)
+    out.set("completed", result.completed)
+    out.set("degraded", result.degraded)
+    out.set("contract_state", result.contract_state)
+    out.set("faults_injected", len(result.injected))
+    out.set("recoveries", result.recoveries)
+    out.set("blacklisted", result.blacklisted)
+    out.set("dropped_providers", result.dropped_providers)
+    out.set("rewards_paid", sum(result.payouts.values()))
+    out.set("refunded", result.refunded)
+    out.set("gas_used", result.gas_used)
+    out.set("error", result.error)
+    return 0 if result.completed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace, out: OutputWriter) -> int:
     experiments = [
         ("E1", "five-role lifecycle end to end", "bench_e1_lifecycle.py"),
@@ -198,6 +309,8 @@ def _cmd_experiments(args: argparse.Namespace, out: OutputWriter) -> int:
         ("E16", "executor fault injection vs quorum",
          "bench_e16_fault_injection.py"),
         ("E17", "executor economics", "bench_e17_economics.py"),
+        ("E18", "lifecycle fault recovery sweep",
+         "bench_e18_fault_recovery.py"),
     ]
     out.line("experiment suite (run: pytest benchmarks/ --benchmark-only)\n")
     for exp_id, title, bench in experiments:
@@ -404,6 +517,19 @@ def _cmd_spans(args: argparse.Namespace, out: OutputWriter) -> int:
     return 0
 
 
+#: Scenario names accepted by `repro faults` (mirrors
+#: ``repro.core.resilience.SCENARIOS``; a test asserts the two match).
+FAULT_SCENARIOS = (
+    "chain-flaky",
+    "churn-provider",
+    "crash-execute",
+    "crash-register",
+    "crash-submit",
+    "drop-provider",
+    "drop-submission",
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -439,6 +565,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_json_flag(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    faults = subparsers.add_parser(
+        "faults", help="run a workload under an injected fault scenario"
+    )
+    # Kept in sync with repro.core.resilience.SCENARIOS (tested); listing
+    # them statically keeps `repro info` etc. free of the core import.
+    faults.add_argument("scenario", choices=FAULT_SCENARIOS,
+                        help="named fault scenario to arm")
+    faults.add_argument("--providers", type=int, default=3)
+    faults.add_argument("--executors", type=int, default=3)
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--no-recovery", action="store_true",
+                        help="run the fail-fast baseline engine (no retry/"
+                             "re-match/degrade); injected faults are "
+                             "terminal")
+    faults.add_argument("--trace", default=None, metavar="PATH",
+                        help="write the lifecycle event trace to a JSONL "
+                             "file plus a PATH.metrics.json snapshot")
+    add_json_flag(faults)
+    faults.set_defaults(handler=_cmd_faults)
 
     aggregate = subparsers.add_parser(
         "aggregate", help="run a statistical aggregate workload in a TEE"

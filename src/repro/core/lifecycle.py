@@ -21,6 +21,17 @@ Phases are individually testable objects; a phase can also be *intercepted*
 (replaced by a callable) — the adversary harness uses this to substitute
 malicious result votes for the honest settle step without reaching into
 marketplace internals.
+
+Failures need not be terminal.  A session built with a *recovery policy*
+(see :mod:`repro.core.resilience`) consults it whenever a phase raises:
+the policy may direct a **retry** of the same phase (backoff on the sim
+clock), a **re-match** onto the surviving executors (re-entering
+``register_executors`` with the dead executor blacklisted), a quorum
+**degrade** (proceed with the executors that still hold data), or a
+provider **drop** — each a declared re-entry edge in :data:`TRANSITIONS`.
+Without a policy every error behaves as before: the session fails, and —
+new in any case — a failing session that already escrowed funds aborts
+the workload contract so the consumer is refunded.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ from repro.errors import (
     DeployFailure,
     ExecutionFailure,
     LifecycleError,
+    MarketplaceError,
     MatchFailure,
     PDS2Error,
     RegistrationFailure,
@@ -56,9 +68,15 @@ from repro.errors import (
     TransitionError,
 )
 from repro.governance.audit import AuditReport, audit_workload, trail_covers_chain
-from repro.governance.contracts import STATE_COMPLETE
+from repro.governance.contracts import (
+    STATE_CANCELLED,
+    STATE_COMPLETE,
+    STATE_EXECUTING,
+    STATE_OPEN,
+)
 from repro.rewards.distribution import normalize_weights_bps
 from repro.tee.enclave import EnclaveCode
+from repro.telemetry import metrics as _tm
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -82,24 +100,68 @@ PHASE_AUDIT = "audit"
 TERMINAL_COMPLETE = "complete"
 TERMINAL_FAILED = "failed"
 
+#: Recovery re-entry edges layered over the happy path.  Every phase may
+#: retry itself (transient faults back off on the sim clock and run the
+#: phase again); a crash discovered while the contract is still OPEN
+#: re-enters ``register_executors`` (or ``match``, if the participant set
+#: must be rebuilt) with the dead executor blacklisted; a crash during
+#: ``execute`` re-enters the same phase over the surviving quorum.
+RECOVERY_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    PHASE_DEPLOY: (PHASE_DEPLOY,),
+    PHASE_MATCH: (PHASE_MATCH,),
+    PHASE_REGISTER: (PHASE_REGISTER,),
+    PHASE_SUBMIT: (PHASE_SUBMIT, PHASE_MATCH, PHASE_REGISTER),
+    PHASE_START: (PHASE_START,),
+    PHASE_EXECUTE: (PHASE_EXECUTE, PHASE_REGISTER),
+    PHASE_AGGREGATE: (PHASE_AGGREGATE,),
+    PHASE_SETTLE: (PHASE_SETTLE,),
+    PHASE_AUDIT: (PHASE_AUDIT,),
+}
+
 #: The full transition table.  Every phase may fail; terminal states have no
 #: outgoing transitions (tests assert this closure property).
 TRANSITIONS: dict[str, tuple[str, ...]] = {
     STATE_CREATED: (PHASE_DEPLOY, TERMINAL_FAILED),
-    PHASE_DEPLOY: (PHASE_MATCH, TERMINAL_FAILED),
-    PHASE_MATCH: (PHASE_REGISTER, TERMINAL_FAILED),
-    PHASE_REGISTER: (PHASE_SUBMIT, TERMINAL_FAILED),
-    PHASE_SUBMIT: (PHASE_START, TERMINAL_FAILED),
-    PHASE_START: (PHASE_EXECUTE, TERMINAL_FAILED),
-    PHASE_EXECUTE: (PHASE_AGGREGATE, TERMINAL_FAILED),
-    PHASE_AGGREGATE: (PHASE_SETTLE, TERMINAL_FAILED),
-    PHASE_SETTLE: (PHASE_AUDIT, TERMINAL_FAILED),
-    PHASE_AUDIT: (TERMINAL_COMPLETE, TERMINAL_FAILED),
+    PHASE_DEPLOY: (PHASE_MATCH, TERMINAL_FAILED,
+                   *RECOVERY_TRANSITIONS[PHASE_DEPLOY]),
+    PHASE_MATCH: (PHASE_REGISTER, TERMINAL_FAILED,
+                  *RECOVERY_TRANSITIONS[PHASE_MATCH]),
+    PHASE_REGISTER: (PHASE_SUBMIT, TERMINAL_FAILED,
+                     *RECOVERY_TRANSITIONS[PHASE_REGISTER]),
+    PHASE_SUBMIT: (PHASE_START, TERMINAL_FAILED,
+                   *RECOVERY_TRANSITIONS[PHASE_SUBMIT]),
+    PHASE_START: (PHASE_EXECUTE, TERMINAL_FAILED,
+                  *RECOVERY_TRANSITIONS[PHASE_START]),
+    PHASE_EXECUTE: (PHASE_AGGREGATE, TERMINAL_FAILED,
+                    *RECOVERY_TRANSITIONS[PHASE_EXECUTE]),
+    PHASE_AGGREGATE: (PHASE_SETTLE, TERMINAL_FAILED,
+                      *RECOVERY_TRANSITIONS[PHASE_AGGREGATE]),
+    PHASE_SETTLE: (PHASE_AUDIT, TERMINAL_FAILED,
+                   *RECOVERY_TRANSITIONS[PHASE_SETTLE]),
+    PHASE_AUDIT: (TERMINAL_COMPLETE, TERMINAL_FAILED,
+                  *RECOVERY_TRANSITIONS[PHASE_AUDIT]),
     TERMINAL_COMPLETE: (),
     TERMINAL_FAILED: (),
 }
 
 TERMINAL_STATES = (TERMINAL_COMPLETE, TERMINAL_FAILED)
+
+# Recovery observability: every applied directive and every terminal
+# session outcome is counted process-wide (exported by `repro metrics`).
+_RECOVERY_ACTIONS = _tm.counter(
+    "pds2_lifecycle_recovery_total",
+    "Recovery directives applied by the lifecycle engine",
+    labelnames=("action",),
+)
+_SESSION_OUTCOMES = _tm.counter(
+    "pds2_lifecycle_sessions_total",
+    "Workload sessions by terminal outcome",
+    labelnames=("outcome",),
+)
+_ESCROW_REFUNDED = _tm.counter(
+    "pds2_lifecycle_escrow_refunded_total",
+    "Escrow returned to consumers by failing sessions",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +327,9 @@ class MLTrainingKind(WorkloadKind):
             achieved_epsilon=ctx.extra.get("achieved_epsilon"),
             audit=ctx.audit,
             session_id=session.session_id,
+            degraded=ctx.degraded,
+            recoveries=[dict(entry) for entry in ctx.recovery_log],
+            blacklisted=list(ctx.blacklist),
         )
 
 
@@ -365,6 +430,52 @@ class SessionContext:
     payouts: dict[str, int] = field(default_factory=dict)
     audit: Optional[AuditReport] = None
 
+    # -- recovery bookkeeping (all empty/False on a fault-free run) --------
+    #: Executor addresses whose on-chain registration already succeeded
+    #: (re-entered phases skip them instead of reverting on-chain).
+    registered: set[str] = field(default_factory=set)
+    #: Provider addresses whose data reached a live executor's enclave.
+    submitted: set[str] = field(default_factory=set)
+    #: Provider addresses whose participation certificate is on-chain —
+    #: tracked separately from ``submitted`` because re-submitting a fresh
+    #: certificate for the same provider would double-count its samples.
+    certified: set[str] = field(default_factory=set)
+    #: Executor addresses whose enclave already ran.
+    executed: set[str] = field(default_factory=set)
+    #: Executor addresses whose settle vote is already on-chain.
+    voted: set[str] = field(default_factory=set)
+    #: Executors removed from this session after crashing (addresses).
+    blacklist: list[str] = field(default_factory=list)
+    #: Providers dropped after exhausting their retry budget (addresses).
+    dropped_providers: set[str] = field(default_factory=set)
+    #: True once the session lost capacity and continued on a partial
+    #: quorum (payouts reweighted over the surviving contributors).
+    degraded: bool = False
+    #: Per-phase retry counts for the *current* entry (reset on success).
+    retries: dict[str, int] = field(default_factory=dict)
+    #: Every recovery directive applied, in order.
+    recovery_log: list[dict] = field(default_factory=list)
+    #: Escrow returned to the consumer by a failing session.
+    refunded: int = 0
+
+
+@dataclass
+class RecoveryDirective:
+    """What a recovery policy tells the engine to do about one failure.
+
+    ``action`` is one of ``retry`` / ``rematch`` / ``degrade`` /
+    ``drop_provider``; ``target`` is the phase the session re-enters (a
+    declared edge in :data:`TRANSITIONS`).  Policies live in
+    :mod:`repro.core.resilience`; the engine only interprets directives.
+    """
+
+    action: str
+    target: str
+    delay_s: float = 0.0
+    dead_executor: str = ""
+    provider: str = ""
+    reason: str = ""
+
 
 #: An interceptor fully replaces one phase's execution.  It receives the
 #: session and the phase object it displaced (whose helpers it may reuse).
@@ -379,7 +490,9 @@ class WorkloadSession:
                  executors: Optional[list[ExecutorActor]] = None,
                  interceptors: Optional[Mapping[str, PhaseInterceptor]] = None,
                  require_completion: bool = True,
-                 audit: bool = True):
+                 audit: bool = True,
+                 recovery: Optional[Any] = None,
+                 injector: Optional[Any] = None):
         self.market = market
         self.consumer = consumer
         self.kind = kind
@@ -390,6 +503,13 @@ class WorkloadSession:
         )
         self.require_completion = require_completion
         self.audit_enabled = audit
+        #: Recovery policy consulted on phase failure (duck-typed: anything
+        #: with ``decide(session, phase, error) -> RecoveryDirective|None``;
+        #: None keeps the historical fail-fast behavior).
+        self.recovery = recovery
+        #: Fault injector whose ``fire(session, point, **info)`` runs at
+        #: every named :meth:`fault_point` (None disables injection).
+        self.injector = injector
         self.trail: list[LifecycleEvent] = []
         self.ctx = SessionContext(executors=list(
             executors if executors is not None else market.executors
@@ -431,7 +551,16 @@ class WorkloadSession:
             "gas_used": self.gas_used,
             "blocks_mined": self.blocks_mined,
             "events": len(self.trail),
+            "degraded": self.ctx.degraded,
+            "blacklisted": list(self.ctx.blacklist),
+            "recoveries": len(self.ctx.recovery_log),
+            "refunded": self.ctx.refunded,
         }
+
+    def fault_point(self, point: str, **info: Any) -> None:
+        """Named injection point; a no-op unless an injector is armed."""
+        if self.injector is not None:
+            self.injector.fire(self, point, **info)
 
     # -- the state machine --------------------------------------------------
 
@@ -453,6 +582,10 @@ class WorkloadSession:
         ``lifecycle.phase.<name>`` child under it (and chain mining,
         enclave runs etc. nest further down), so a trace renders as a
         root-to-leaf time decomposition of the Fig. 2 sequence.
+
+        With a recovery policy attached, a failing phase may re-enter an
+        earlier phase (or itself) instead of failing the session; the loop
+        below follows whatever re-entry target :meth:`_run_phase` returns.
         """
         with self.market.active_session(self):
             with self.market.tracer.span(
@@ -463,16 +596,27 @@ class WorkloadSession:
                 self.emit("session.started",
                           workload_id=self.kind.workload_id,
                           kind=type(self.kind).__name__)
-                for phase in LIFECYCLE_PHASES:
-                    self._run_phase(phase)
+                index = 0
+                while index < len(LIFECYCLE_PHASES):
+                    target = self._run_phase(LIFECYCLE_PHASES[index])
+                    if target is None:
+                        index += 1
+                    else:
+                        index = PHASE_INDEX[target]
                 self.advance(TERMINAL_COMPLETE)
                 root.set_attribute("gas_used", self.gas_used)
                 root.set_attribute("blocks_mined", self.blocks_mined)
+                root.set_attribute("degraded", self.ctx.degraded)
+                outcome = "degraded" if self.ctx.degraded else "complete"
+                _SESSION_OUTCOMES.labels(outcome=outcome).inc()
                 self.emit("session.completed", gas_used=self.gas_used,
-                          blocks_mined=self.blocks_mined)
+                          blocks_mined=self.blocks_mined,
+                          degraded=self.ctx.degraded,
+                          recoveries=len(self.ctx.recovery_log))
         return self.kind.build_result(self)
 
-    def _run_phase(self, phase: "LifecyclePhase") -> None:
+    def _run_phase(self, phase: "LifecyclePhase") -> Optional[str]:
+        """Run one phase; None means proceed, a name means re-enter there."""
         self.advance(phase.name)
         gas_before = self.market.chain.total_gas_used
         self.emit("phase.started")
@@ -488,24 +632,144 @@ class WorkloadSession:
             except LifecycleError as err:
                 if not err.snapshot:
                     err.snapshot = self.snapshot()
-                self._fail(phase, err)
-                raise
+                return self._recover_or_fail(phase, err, span)
             except PDS2Error as err:
                 failure = phase.failure_class(str(err),
                                               snapshot=self.snapshot())
-                self._fail(phase, failure)
-                raise failure from err
+                failure.__cause__ = err
+                return self._recover_or_fail(phase, failure, span)
             span.set_attribute(
                 "gas", self.market.chain.total_gas_used - gas_before
             )
+        self.ctx.retries.pop(phase.name, None)
         self.emit("phase.completed",
                   gas_used=self.market.chain.total_gas_used - gas_before)
+        return None
+
+    def _recover_or_fail(self, phase: "LifecyclePhase",
+                         error: LifecycleError, span: Any) -> str:
+        """Consult the recovery policy; apply its directive or fail."""
+        directive: Optional[RecoveryDirective] = None
+        if self.recovery is not None:
+            directive = self.recovery.decide(self, phase, error)
+        if directive is None:
+            self._fail(phase, error)
+            raise error
+        self._apply_recovery(phase, directive, error)
+        span.set_attribute("recovered", directive.action)
+        return directive.target
+
+    def _apply_recovery(self, phase: "LifecyclePhase",
+                        directive: RecoveryDirective,
+                        error: LifecycleError) -> None:
+        """Mutate session state so the re-entered phase can succeed."""
+        ctx = self.ctx
+        with self.market.tracer.span(
+            "lifecycle.recovery", session_id=self.session_id,
+            action=directive.action, phase=phase.name,
+            target=directive.target,
+        ):
+            if directive.action == "retry":
+                ctx.retries[phase.name] = ctx.retries.get(phase.name, 0) + 1
+                if directive.delay_s > 0:
+                    self.market.advance_clock(directive.delay_s)
+            elif directive.action == "rematch":
+                self._remove_executor(directive.dead_executor,
+                                      orphan_resubmits=True)
+            elif directive.action == "degrade":
+                self._remove_executor(directive.dead_executor,
+                                      orphan_resubmits=False)
+                ctx.degraded = True
+            elif directive.action == "drop_provider":
+                ctx.dropped_providers.add(directive.provider)
+                ctx.participants = [
+                    p for p in ctx.participants
+                    if p.address != directive.provider
+                ]
+                ctx.degraded = True
+            else:
+                raise MarketplaceError(
+                    f"unknown recovery action {directive.action!r}"
+                )
+        record = {
+            "action": directive.action,
+            "phase": phase.name,
+            "target": directive.target,
+            "error": type(error).__name__,
+            "dead_executor": directive.dead_executor,
+            "provider": directive.provider,
+            "delay_s": directive.delay_s,
+            "reason": directive.reason,
+        }
+        ctx.recovery_log.append(record)
+        _RECOVERY_ACTIONS.labels(action=directive.action).inc()
+        self.emit(f"recovery.{directive.action}", target=directive.target,
+                  error=type(error).__name__,
+                  dead_executor=directive.dead_executor,
+                  provider=directive.provider, delay_s=directive.delay_s,
+                  reason=directive.reason)
+
+    def _remove_executor(self, address: str, *,
+                         orphan_resubmits: bool) -> None:
+        """Blacklist one executor and detach it from the session.
+
+        ``orphan_resubmits`` controls what happens to providers whose data
+        only that executor held: before execution starts their submissions
+        are re-queued onto the survivors (re-match); after, the data is
+        gone with the enclave and the run degrades to the executors that
+        still hold data.
+        """
+        ctx = self.ctx
+        if address not in ctx.blacklist:
+            ctx.blacklist.append(address)
+        ctx.executors = [e for e in ctx.executors if e.address != address]
+        ctx.active_executors = [
+            e for e in ctx.active_executors if e.address != address
+        ]
+        orphans = ctx.assignments.pop(address, [])
+        if orphan_resubmits:
+            for provider in orphans:
+                ctx.submitted.discard(provider.address)
 
     def _fail(self, phase: "LifecyclePhase", error: LifecycleError) -> None:
         self.emit("phase.failed", error=type(error).__name__,
                   message=str(error))
+        self._release_escrow()
+        _SESSION_OUTCOMES.labels(outcome="failed").inc()
         self.advance(TERMINAL_FAILED)
         self.emit("session.failed", phase=phase.name)
+
+    def _release_escrow(self) -> None:
+        """Settle-or-refund: a dying session must not strand the escrow.
+
+        If the workload contract was deployed and is still unsettled, the
+        consumer aborts it, refunding the escrowed reward pool.  Refund
+        failure is recorded but never masks the original error.
+        """
+        ctx = self.ctx
+        if not ctx.workload_address:
+            return
+        try:
+            state = self.read_state()
+            if state not in (STATE_OPEN, STATE_EXECUTING):
+                return
+            escrow = int(self.consumer.wallet.view(
+                ctx.workload_address, "escrow"
+            ))
+            self.consumer.wallet.call(ctx.workload_address, "abort")
+            self.market._mine()
+            if self.read_state() != STATE_CANCELLED:
+                raise SettlementFailure(
+                    "abort transaction did not cancel the workload",
+                    snapshot=self.snapshot(),
+                )
+            ctx.refunded = escrow
+            _ESCROW_REFUNDED.inc(escrow)
+            self.emit("session.refunded", actor=self.consumer.address,
+                      refunded=escrow)
+        except PDS2Error as exc:
+            self.emit("session.refund_failed", error=type(exc).__name__,
+                      message=str(exc))
 
     # -- helpers shared between the honest engine and interceptors ----------
 
@@ -517,6 +781,7 @@ class WorkloadSession:
             result_hash=result_hash,
             provider_weights_bps=weights_bps,
         )
+        self.ctx.voted.add(executor.address)
         self.emit("settle.vote_cast", actor=executor.address,
                   result_hash=result_hash)
 
@@ -563,6 +828,8 @@ class DeployPhase(LifecyclePhase):
 
     def run(self, session: WorkloadSession) -> None:
         kind = session.kind
+        if session.ctx.workload_address:
+            return  # recovery re-entry: the contract is already deployed
         executors = session.ctx.executors
         if not executors:
             raise DeployFailure("no executors available",
@@ -572,6 +839,7 @@ class DeployPhase(LifecyclePhase):
                 "spec requires more confirmations than executors exist",
                 snapshot=session.snapshot(),
             )
+        session.fault_point("deploy.chain_tx")
         # Deploy + mine through the session clock (unlike the bare
         # ``deploy_and_mine`` default of head-timestamp + 1): every block a
         # session seals must carry the ticking sim clock, or a run that
@@ -597,7 +865,10 @@ class MatchPhase(LifecyclePhase):
     failure_class = MatchFailure
 
     def run(self, session: WorkloadSession) -> None:
-        participants = session.kind.match(session.market)
+        participants = [
+            provider for provider in session.kind.match(session.market)
+            if provider.address not in session.ctx.dropped_providers
+        ]
         if len(participants) < session.kind.min_providers:
             raise MatchFailure(
                 f"only {len(participants)} willing providers; "
@@ -618,12 +889,17 @@ class RegisterExecutorsPhase(LifecyclePhase):
 
     def run(self, session: WorkloadSession) -> None:
         kind = session.kind
-        for executor in session.ctx.executors:
+        ctx = session.ctx
+        for executor in list(ctx.executors):
+            if executor.address in ctx.registered:
+                continue  # recovery re-entry: already registered on-chain
+            session.fault_point("register.executor", executor=executor)
             executor.launch_enclave_for(kind.workload_id, kind.code)
             executor.wallet.call(
                 session.ctx.workload_address, "register_executor",
                 claimed_measurement=kind.code.measurement.hex(),
             )
+            ctx.registered.add(executor.address)
             session.emit("executor.registered", actor=executor.address)
         session.market._mine()
 
@@ -642,11 +918,18 @@ class AttestAndSubmitPhase(LifecyclePhase):
             ctx.workload_address, "code_measurement"
         )
         expected = bytes.fromhex(onchain_measurement)
-        ctx.assignments = {
-            executor.address: [] for executor in ctx.executors
-        }
-        for index, provider in enumerate(ctx.participants):
-            executor = ctx.executors[index % len(ctx.executors)]
+        for executor in ctx.executors:
+            ctx.assignments.setdefault(executor.address, [])
+        for provider in ctx.participants:
+            if provider.address in ctx.submitted:
+                continue  # recovery re-entry: data already with a live executor
+            # Round-robin over the (surviving) executors.  On a fault-free
+            # run ``len(ctx.submitted)`` equals the participant index, so
+            # assignments are byte-identical to the historical behavior.
+            executor = ctx.executors[len(ctx.submitted) % len(ctx.executors)]
+            session.fault_point("submit.executor", executor=executor)
+            session.fault_point("submit.provider", provider=provider,
+                                executor=executor)
             quote = executor.quote_for_workload(kind.workload_id, kind.code)
             enclave_key = market.attestation.verify(
                 quote, expected_measurement=expected
@@ -662,14 +945,20 @@ class AttestAndSubmitPhase(LifecyclePhase):
                 kind.workload_id, kind.code, provider.address, envelope,
                 provider.wallet.key.public_key,
             )
-            executor.wallet.call(
-                ctx.workload_address, "submit_participation",
-                provider=provider.address,
-                certificate_hash=certificate.certificate_hash.hex(),
-                data_root=certificate.data_root.hex(),
-                item_count=certificate.item_count,
-            )
+            if provider.address not in ctx.certified:
+                # A provider re-matched onto a new executor after a crash
+                # already has a certificate on-chain; submitting a second
+                # one would double-count its samples in the contract.
+                executor.wallet.call(
+                    ctx.workload_address, "submit_participation",
+                    provider=provider.address,
+                    certificate_hash=certificate.certificate_hash.hex(),
+                    data_root=certificate.data_root.hex(),
+                    item_count=certificate.item_count,
+                )
+                ctx.certified.add(provider.address)
             ctx.assignments[executor.address].append(provider)
+            ctx.submitted.add(provider.address)
             session.emit("storage.data_submitted", actor=provider.address,
                          executor=executor.address,
                          item_count=certificate.item_count)
@@ -683,6 +972,9 @@ class StartExecutionPhase(LifecyclePhase):
     failure_class = StartFailure
 
     def run(self, session: WorkloadSession) -> None:
+        if session.read_state() == STATE_EXECUTING:
+            return  # recovery re-entry: the gate already tripped
+        session.fault_point("start.chain_tx")
         session.consumer.wallet.call(
             session.ctx.workload_address, "start_execution"
         )
@@ -705,10 +997,14 @@ class ExecutePhase(LifecyclePhase):
             if ctx.assignments.get(executor.address)
         ]
         run_kwargs = kind.run_kwargs(session.market)
-        for executor in ctx.active_executors:
+        for executor in list(ctx.active_executors):
+            if executor.address in ctx.executed:
+                continue  # recovery re-entry: this enclave already ran
+            session.fault_point("execute.executor", executor=executor)
             output = executor.execute_for(kind.workload_id, kind.code,
                                           **run_kwargs)
             ctx.outputs.append(output)
+            ctx.executed.add(executor.address)
             session.emit("enclave.executed", actor=executor.address,
                          providers=len(ctx.assignments[executor.address]))
 
@@ -729,7 +1025,7 @@ class AggregatePhase(LifecyclePhase):
         ctx.extra = extra
         ctx.result_hash = result_hash_of(vector, weights_bps)
         session.emit("aggregate.completed", result_hash=ctx.result_hash,
-                     outputs=len(ctx.outputs))
+                     outputs=len(ctx.outputs), degraded=ctx.degraded)
 
 
 class SettlePhase(LifecyclePhase):
@@ -747,6 +1043,9 @@ class SettlePhase(LifecyclePhase):
         ctx = session.ctx
         voters = ctx.active_executors[:session.kind.required_confirmations]
         for executor in voters:
+            if executor.address in ctx.voted:
+                continue  # recovery re-entry: vote already on-chain
+            session.fault_point("settle.chain_tx", executor=executor)
             session.cast_vote(executor, ctx.result_hash, ctx.weights_bps)
         self.finalize(session)
 
@@ -812,4 +1111,9 @@ LIFECYCLE_PHASES: tuple[LifecyclePhase, ...] = (
 #: Phase name -> phase object, for tests and interceptor writers.
 PHASES_BY_NAME: dict[str, LifecyclePhase] = {
     phase.name: phase for phase in LIFECYCLE_PHASES
+}
+
+#: Phase name -> position in the canonical order (recovery re-entry).
+PHASE_INDEX: dict[str, int] = {
+    phase.name: index for index, phase in enumerate(LIFECYCLE_PHASES)
 }

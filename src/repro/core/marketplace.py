@@ -33,6 +33,7 @@ Everything is deterministic under the marketplace seed.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -98,6 +99,13 @@ class WorkloadRunReport:
     #: executors than providers, round-robin leaves some idle).
     active_executors: list[str] = field(default_factory=list)
     session_id: str = ""
+    #: True when the session finished on a partial quorum (one or more
+    #: executors lost mid-run, payouts reweighted over the survivors).
+    degraded: bool = False
+    #: Recovery actions the lifecycle engine applied, in order.
+    recoveries: list[dict] = field(default_factory=list)
+    #: Executors blacklisted for this session after crashing.
+    blacklisted: list[str] = field(default_factory=list)
 
     @property
     def total_paid(self) -> int:
@@ -177,6 +185,20 @@ class Marketplace:
 
     def _tick(self) -> float:
         self.clock += 1.0
+        return self.clock
+
+    def advance_clock(self, seconds: float) -> float:
+        """Advance the sim clock without mining (retry backoff waits).
+
+        Recovery policies sleep on *this* clock — never wall time — so
+        injected runs stay deterministic.
+        """
+        if not math.isfinite(seconds) or seconds < 0:
+            raise MarketplaceError(
+                f"clock can only advance by a finite non-negative amount, "
+                f"got {seconds!r}"
+            )
+        self.clock += float(seconds)
         return self.clock
 
     def _mine(self) -> None:

@@ -299,3 +299,23 @@ class AuditFailure(LifecycleError):
     """The post-completion audit could not be produced."""
 
     phase = "audit"
+
+
+class InjectedFaultError(LifecycleError):
+    """A fault injected by the resilience harness fired.
+
+    Carries enough structure for a recovery policy to pick the right
+    remedy without parsing the message: ``point`` is the named injection
+    point, ``transient`` marks faults a plain retry can clear, and
+    ``dead_executor`` / ``provider`` name the actor the fault took down
+    (addresses, empty when not applicable).
+    """
+
+    def __init__(self, message: str, snapshot: dict | None = None, *,
+                 point: str = "", transient: bool = False,
+                 dead_executor: str = "", provider: str = ""):
+        super().__init__(message, snapshot=snapshot)
+        self.point = point
+        self.transient = transient
+        self.dead_executor = dead_executor
+        self.provider = provider

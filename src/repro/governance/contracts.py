@@ -377,6 +377,28 @@ class WorkloadContract(Contract):
         self.swrite(STATE_CANCELLED, "state")
         self.emit("WorkloadCancelled", consumer=consumer, refunded=escrow)
 
+    def abort(self) -> None:
+        """Consumer-only: abandon a workload that can no longer finish.
+
+        Unlike :meth:`cancel`, abort is also legal while EXECUTING — the
+        recovery engine calls it when a session dies after the execution
+        gate tripped (e.g. too many crashed executors to reach quorum), so
+        the escrow flows back to the consumer instead of being stranded in
+        a contract that will never finalize.
+        """
+        state = self.sread("state")
+        self.require(state in (STATE_OPEN, STATE_EXECUTING),
+                     "only an unsettled workload can be aborted")
+        consumer = self.sread("consumer")
+        self.require(self.ctx.sender == consumer,
+                     "only the consumer may abort")
+        escrow = self.sread("escrow")
+        if escrow > 0:
+            self._pay(consumer, escrow)
+        self.swrite(STATE_CANCELLED, "state")
+        self.emit("WorkloadCancelled", consumer=consumer, refunded=escrow,
+                  reason="aborted")
+
     def expire(self) -> None:
         """Refund the consumer after the deadline (anyone may call).
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
@@ -46,6 +47,13 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay``."""
+        if not math.isfinite(delay):
+            # NaN slips past the `< 0` check below and corrupts the heap
+            # invariant (every comparison with NaN is False); inf events
+            # can never run but burn the run_to_completion budget.
+            raise SimulationError(
+                f"event delay must be finite, got {delay!r}"
+            )
         if delay < 0:
             raise SimulationError("cannot schedule events in the past")
         heapq.heappush(

@@ -140,6 +140,7 @@ class Enclave:
         self._private_inputs: dict[str, Any] = {}
         self._private_output: Any = None
         self._ran = False
+        self._terminated = False
         self.call_transitions = 0  # ECALL/OCALL counter for the cost model
 
     @property
@@ -151,6 +152,25 @@ class Enclave:
     def ephemeral_public_key(self) -> PublicKey:
         """Public half of the enclave's session key (bound into quotes)."""
         return self._ephemeral_key.public_key
+
+    def terminate(self) -> None:
+        """Tear the enclave down (host crash / power loss).
+
+        Enclave memory is gone: every subsequent provision, run or extract
+        raises.  Like real SGX, nothing survives except what was sealed —
+        the fault-injection harness uses this to model crashed executors.
+        """
+        self._terminated = True
+        self._private_inputs.clear()
+        self._private_output = None
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    def _require_alive(self) -> None:
+        if self._terminated:
+            raise EnclaveViolationError("enclave was terminated")
 
     # -- input provisioning ------------------------------------------------------
 
@@ -169,6 +189,7 @@ class Enclave:
     def provision_input(self, label: str, envelope: Envelope,
                         sender_public_key: PublicKey) -> None:
         """Accept an encrypted input; decrypt it *inside* the enclave."""
+        self._require_alive()
         self.call_transitions += 1
         _PROVISIONS.labels(kind="encrypted").inc()
         key = shared_secret(self._ephemeral_key, sender_public_key)
@@ -182,6 +203,7 @@ class Enclave:
 
     def provision_plain(self, label: str, value: Any) -> None:
         """Accept a non-confidential input (e.g. public hyperparameters)."""
+        self._require_alive()
         self.call_transitions += 1
         _PROVISIONS.labels(kind="plain").inc()
         self._private_inputs[label] = value
@@ -195,6 +217,7 @@ class Enclave:
         keyword arguments; its return value stays in enclave-private memory
         until extracted.
         """
+        self._require_alive()
         if self._ran:
             raise EnclaveViolationError("enclave already executed its payload")
         self.call_transitions += 1
@@ -217,6 +240,7 @@ class Enclave:
         sees it — the workload-confidentiality requirement of Section II-B.
         Without it, the plaintext result is returned (for public outputs).
         """
+        self._require_alive()
         if not self._ran:
             raise EnclaveViolationError("enclave has not executed yet")
         self.call_transitions += 1

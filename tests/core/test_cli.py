@@ -16,7 +16,8 @@ class TestParser:
         parser = build_parser()
         for argv in (["info"], ["experiments"],
                      ["quickstart", "--providers", "4"],
-                     ["aggregate", "--kind", "sum"]):
+                     ["aggregate", "--kind", "sum"],
+                     ["faults", "crash-execute"]):
             args = parser.parse_args(argv)
             assert callable(args.handler)
 
@@ -27,6 +28,18 @@ class TestParser:
     def test_bad_aggregate_kind_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["aggregate", "--kind", "median"])
+
+    def test_unknown_fault_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "meteor-strike"])
+
+    def test_fault_scenario_choices_mirror_registry(self):
+        # FAULT_SCENARIOS is a static tuple so `--help` stays fast; this
+        # pins it to the real registry in repro.core.resilience.
+        from repro.cli import FAULT_SCENARIOS
+        from repro.core.resilience import SCENARIOS
+
+        assert FAULT_SCENARIOS == tuple(sorted(SCENARIOS))
 
 
 class TestCommands:
@@ -59,6 +72,62 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "audit clean: True" in output
+
+
+class TestFaults:
+    def test_crash_execute_recovers(self, capsys):
+        assert main(["faults", "crash-execute", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "outcome: settled_degraded" in output
+        assert "recovery: degrade in execute" in output
+        assert "blacklisted executors:" in output
+        assert "rewards paid: 600,000" in output
+
+    def test_no_recovery_baseline_fails(self, capsys):
+        assert main(["faults", "crash-execute", "--seed", "5",
+                     "--no-recovery"]) == 1
+        output = capsys.readouterr().out
+        assert "recovery policy: off (baseline)" in output
+        assert "outcome: failed" in output
+        assert "escrow refunded to consumer: 600,000" in output
+
+    def test_json_mode(self, capsys):
+        import json
+
+        assert main(["faults", "drop-submission", "--seed", "5",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcome"] == "settled"
+        assert payload["faults_injected"] == 1
+        assert [r["action"] for r in payload["recoveries"]] == ["retry"]
+        assert payload["rewards_paid"] == 600_000
+
+    def test_trace_records_fault_and_recovery_events(self, tmp_path,
+                                                     capsys):
+        from repro.core.events import read_jsonl_events
+        from repro.telemetry import parse_prometheus
+
+        path = str(tmp_path / "faults.jsonl")
+        assert main(["faults", "crash-execute", "--seed", "5",
+                     "--trace", path]) == 0
+        capsys.readouterr()
+        names = {event.name for event in read_jsonl_events(path)}
+        assert "fault.injected" in names
+        assert "recovery.degrade" in names
+        assert "session.completed" in names
+        # The sidecar snapshot carries the recovery counters into the
+        # Prometheus exposition (what the CI smoke job greps for).
+        assert main(["metrics", path + ".metrics.json"]) == 0
+        output = capsys.readouterr().out
+        samples = dict(parse_prometheus(output))
+        # >= because the process-global registry accumulates across the
+        # other fault runs in this test module.
+        assert samples[("pds2_faults_injected_total",
+                        (("kind", "crash_execute"),))] >= 1.0
+        assert samples[("pds2_lifecycle_recovery_total",
+                        (("action", "degrade"),))] >= 1.0
+        assert samples[("pds2_lifecycle_sessions_total",
+                        (("outcome", "degraded"),))] >= 1.0
 
 
 class TestTrace:

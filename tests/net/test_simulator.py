@@ -64,6 +64,16 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.schedule(-1.0, lambda: None)
 
+    def test_non_finite_delay_rejected(self):
+        # Regression: NaN compares False with everything, so it used to
+        # slip past the `< 0` guard and corrupt the event heap; inf events
+        # silently burned the run_to_completion budget.
+        sim = Simulator()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                sim.schedule(bad, lambda: None)
+        assert sim.pending_events == 0
+
     def test_past_end_time_rejected(self):
         sim = Simulator()
         sim.run_until(5.0)

@@ -107,6 +107,42 @@ class TestChurn:
             saw_online = saw_online or online > 0
         assert saw_offline and saw_online
 
+    def test_initial_state_drawn_from_stationary_distribution(self, rng):
+        # Regression: install() used to start every node online, which
+        # biased measured availability above the target for the whole
+        # first on-cycle.  The initial state is now a Bernoulli draw at
+        # the model's availability.
+        target = 0.6
+        model = ChurnModel.from_availability(target, mean_online_s=60)
+        sim = Simulator()
+        network = Network(sim)
+        addresses = [f"n{i}" for i in range(400)]
+        for address in addresses:
+            network.attach(address, _Sink())
+        model.install(sim, network, addresses, rng)
+        online = sum(network.is_online(a) for a in addresses)
+        assert abs(online / len(addresses) - target) < 0.1
+
+    def test_short_window_availability_matches_target(self, rng):
+        # The stationary start means even a window much shorter than one
+        # mean on-cycle measures the target availability, not ~1.0.
+        target = 0.5
+        model = ChurnModel.from_availability(target, mean_online_s=100)
+        sim = Simulator()
+        network = Network(sim)
+        addresses = [f"n{i}" for i in range(300)]
+        for address in addresses:
+            network.attach(address, _Sink())
+        model.install(sim, network, addresses, rng)
+        samples = []
+        for end in range(2, 22, 2):  # 20 s << mean_online_s == 100 s
+            sim.run_until(float(end))
+            samples.append(
+                sum(network.is_online(a) for a in addresses) / len(addresses)
+            )
+        mean_availability = sum(samples) / len(samples)
+        assert abs(mean_availability - target) < 0.1
+
     def test_long_run_availability_close_to_target(self, rng):
         target = 0.6
         model = ChurnModel.from_availability(target, mean_online_s=5)
