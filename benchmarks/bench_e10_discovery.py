@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.storage.semantic import (
     AllOf,
     ConceptRequirement,
@@ -59,11 +60,13 @@ def truth_matrix(ontology):
     return truth
 
 
-def test_e10_leakage_precision_tradeoff(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """The generalization sweep (deterministic: no randomness at all)."""
     ontology = Ontology.iot_default()
     truth = truth_matrix(ontology)
     rows = []
     recalls = []
+    precisions = []
     leakages = []
 
     for levels in (0, 1, 2, 3):
@@ -97,29 +100,52 @@ def test_e10_leakage_precision_tradeoff(benchmark):
         precision = proposed_true / proposed if proposed else 1.0
         mean_leakage = leakage_total / len(PROVIDERS)
         recalls.append(recall)
+        precisions.append(precision)
         leakages.append(mean_leakage)
         rows.append([
             levels, f"{mean_leakage:.2f}", f"{recall:.2f}",
             f"{precision:.2f}", proposed,
         ])
 
-    benchmark.pedantic(lambda: truth_matrix(ontology), rounds=5,
-                       iterations=1)
+    lines = format_table(
+        ["generalization", "leak bits/provider", "recall",
+         "precision", "pairs proposed"],
+        rows,
+    )
+    metrics = {
+        "recall_full_detail": higher_is_better(recalls[0],
+                                               threshold_pct=1.0),
+        "precision_full_detail": higher_is_better(precisions[0]),
+        "leak_bits_most_generalized": lower_is_better(leakages[-1],
+                                                      unit="bits"),
+        "leak_monotone": higher_is_better(
+            1.0 if leakages == sorted(leakages, reverse=True) else 0.0,
+            threshold_pct=1.0),
+        "leak_bits_full_detail": info(leakages[0], unit="bits"),
+        "precision_most_generalized": info(precisions[-1]),
+    }
+    return {"metrics": metrics, "lines": lines, "recalls": recalls,
+            "precisions": precisions, "leakages": leakages}
 
+
+EXPERIMENT = Experiment(
+    "E10", "metadata leakage vs matching precision", run_bench,
+)
+
+
+def test_e10_leakage_precision_tradeoff(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     report("E10", "annotation generalization: leakage vs matching",
-           format_table(
-               ["generalization", "leak bits/provider", "recall",
-                "precision", "pairs proposed"],
-               rows,
-           ))
+           payload["lines"])
 
+    leakages = payload["leakages"]
     # Leakage decreases monotonically with generalization...
     assert leakages == sorted(leakages, reverse=True)
     # ...full detail gives perfect discovery...
-    assert recalls[0] == 1.0
+    assert payload["recalls"][0] == 1.0
     # ...and the most generalized annotations still discover everything but
     # at visibly worse precision (wasted executor verification).
-    precisions = [float(row[3]) for row in rows]
+    precisions = payload["precisions"]
     assert precisions[-1] < precisions[0]
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info
 from repro.ml.datasets import make_binary_classification
 from repro.ml.models import MLPClassifier
 from repro.privacy.attacks import membership_inference_attack
@@ -46,54 +47,71 @@ def attack(model, members, nonmembers):
     )
 
 
-def test_e11_epsilon_sweep(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """The epsilon sweep (deterministic: every RNG is seeded)."""
+    steps = 120 if quick else STEPS
+    base_steps = 800 if quick else 2000
+    epsilons = [8.0, 0.5] if quick else EPSILONS
+
     members, nonmembers, test = setup_data()
     rows = []
 
     # The no-DP, heavily-overfit control arm.
     baseline = fresh_model()
     baseline.train_steps(members.features, members.targets.astype(int),
-                         2000, 0.3, MEMBERS, np.random.default_rng(2))
+                         base_steps, 0.3, MEMBERS, np.random.default_rng(2))
     base_attack = attack(baseline, members, nonmembers)
     base_acc = baseline.score(test.features, test.targets.astype(int))
     rows.append(["inf (no DP)", f"{base_attack.advantage:.3f}",
                  f"{base_attack.auc:.3f}", f"{base_acc:.3f}"])
 
     advantages = [base_attack.advantage]
-    for epsilon in EPSILONS:
+    dp_accuracies = []
+    for epsilon in epsilons:
         noise = noise_multiplier_for_epsilon(epsilon, BATCH / MEMBERS,
-                                             STEPS)
+                                             steps)
         model = fresh_model()
         result = train_dpsgd(
             model, members.features, members.targets.astype(int),
             DPSGDConfig(clip_norm=1.0, noise_multiplier=noise,
-                        learning_rate=0.3, batch_size=BATCH, steps=STEPS),
+                        learning_rate=0.3, batch_size=BATCH, steps=steps),
             np.random.default_rng(3),
         )
         dp_attack = attack(model, members, nonmembers)
         accuracy = model.score(test.features, test.targets.astype(int))
         advantages.append(dp_attack.advantage)
+        dp_accuracies.append(accuracy)
         rows.append([f"{result.epsilon:.2f}",
                      f"{dp_attack.advantage:.3f}",
                      f"{dp_attack.auc:.3f}", f"{accuracy:.3f}"])
 
-    def one_dp_run():
-        model = fresh_model()
-        return train_dpsgd(
-            model, members.features, members.targets.astype(int),
-            DPSGDConfig(noise_multiplier=2.0, steps=50, batch_size=BATCH),
-            np.random.default_rng(4),
-        )
+    lines = format_table(
+        ["epsilon", "attack advantage", "attack AUC", "test accuracy"],
+        rows,
+    )
+    metrics = {
+        "attack_advantage_nodp": higher_is_better(advantages[0],
+                                                  threshold_pct=20.0),
+        "dp_halves_leak": higher_is_better(
+            1.0 if all(adv < advantages[0] / 2 for adv in advantages[1:])
+            else 0.0,
+            threshold_pct=1.0),
+        "max_dp_advantage": info(max(advantages[1:])),
+        "baseline_accuracy": info(base_acc),
+        "min_dp_accuracy": info(min(dp_accuracies)),
+    }
+    return {"metrics": metrics, "lines": lines, "advantages": advantages}
 
-    benchmark.pedantic(one_dp_run, rounds=2, iterations=1)
 
+EXPERIMENT = Experiment("E11", "DP vs membership inference", run_bench)
+
+
+def test_e11_epsilon_sweep(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     report("E11", "membership-inference advantage vs epsilon",
-           format_table(
-               ["epsilon", "attack advantage", "attack AUC",
-                "test accuracy"],
-               rows,
-           ))
+           payload["lines"])
 
+    advantages = payload["advantages"]
     # The non-private model must leak substantially...
     assert advantages[0] > 0.4
     # ...and every DP arm must cut that leak by at least half.

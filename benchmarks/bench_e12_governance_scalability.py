@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
 from repro.ml.datasets import (
     make_iot_activity,
@@ -56,32 +57,60 @@ def run_market(num_providers: int):
     return result, elapsed
 
 
-def test_e12_gas_scales_linearly(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """The provider-count sweep (gas and blocks are deterministic)."""
+    counts = [8, 16] if quick else PROVIDER_COUNTS
     rows = []
+    total_gas = []
     gas_per_provider = []
-    for count in PROVIDER_COUNTS:
+    audits_clean = True
+    for count in counts:
         result, elapsed = run_market(count)
-        assert result.audit.clean
+        audits_clean = audits_clean and result.audit.clean
         per_provider = result.gas_used / count
+        total_gas.append(result.gas_used)
         gas_per_provider.append(per_provider)
         rows.append([
             count, f"{result.gas_used:,}", f"{per_provider:,.0f}",
             result.blocks_mined, f"{elapsed:.1f}",
         ])
 
-    benchmark.pedantic(lambda: run_market(8), rounds=1, iterations=1)
+    lines = format_table(
+        ["providers", "total gas", "gas/provider", "blocks", "wall s"],
+        rows,
+    )
+    sublinear = (
+        gas_per_provider[-1] <= gas_per_provider[0] * 1.10
+        and total_gas[-1] < total_gas[0] * (counts[-1] / counts[0]) * 1.2
+    )
+    metrics = {
+        "gas_total_smallest": lower_is_better(total_gas[0], unit="gas"),
+        "gas_per_provider_largest": lower_is_better(gas_per_provider[-1],
+                                                    unit="gas"),
+        "gas_sublinear": higher_is_better(1.0 if sublinear else 0.0,
+                                          threshold_pct=1.0),
+        "audits_clean": higher_is_better(1.0 if audits_clean else 0.0,
+                                         threshold_pct=1.0),
+        "providers_largest": info(counts[-1]),
+    }
+    return {"metrics": metrics, "lines": lines,
+            "gas_per_provider": gas_per_provider, "total_gas": total_gas,
+            "counts": counts, "audits_clean": audits_clean}
 
-    report("E12", "governance gas vs marketplace size",
-           format_table(
-               ["providers", "total gas", "gas/provider", "blocks",
-                "wall s"],
-               rows,
-           ))
 
+EXPERIMENT = Experiment("E12", "governance gas scalability", run_bench)
+
+
+def test_e12_gas_scales_linearly(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E12", "governance gas vs marketplace size", payload["lines"])
+
+    assert payload["audits_clean"]
+    gas_per_provider = payload["gas_per_provider"]
+    total_gas = payload["total_gas"]
+    counts = payload["counts"]
     # Sub-linear marginal cost: per-provider gas falls (or is flat) as the
     # fixed per-workload overhead amortizes; no superlinear blow-up.
     assert gas_per_provider[-1] <= gas_per_provider[0] * 1.10
     # Total gas grows sublinearly relative to 2x provider steps.
-    total_gas = [float(row[1].replace(",", "")) for row in rows]
-    assert total_gas[-1] < total_gas[0] * (PROVIDER_COUNTS[-1] /
-                                           PROVIDER_COUNTS[0]) * 1.2
+    assert total_gas[-1] < total_gas[0] * (counts[-1] / counts[0]) * 1.2

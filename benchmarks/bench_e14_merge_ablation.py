@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info
 from repro.ml.datasets import (
     make_iot_activity,
     split_by_label,
@@ -30,44 +31,63 @@ def factory():
     return SoftmaxRegressionModel(6, 5)
 
 
-def run(parts, test, strategy: MergeStrategy, seed: int) -> float:
+def run(parts, test, strategy: MergeStrategy, seed: int,
+        duration: float = DURATION_S) -> float:
     trainer = GossipTrainer(
         factory, parts, test,
         GossipConfig(wake_interval_s=10, local_steps=4, learning_rate=0.3,
                      merge_strategy=strategy),
         seed=seed,
     )
-    return trainer.run(DURATION_S, DURATION_S).final_mean_score
+    return trainer.run(duration, duration).final_mean_score
 
 
-def test_e14_merge_strategy_ablation(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """All merge rules on IID and sharded splits (seeded, deterministic)."""
+    duration = 450.0 if quick else DURATION_S
+    nodes = 10 if quick else NODES
     rng = np.random.default_rng(140)
-    data = make_iot_activity(3000, rng)
+    data = make_iot_activity(1500 if quick else 3000, rng)
     train, test = train_test_split(data, 0.25, rng)
-    iid_parts = split_iid(train, NODES, rng)
-    shard_parts = split_by_label(train, NODES, 2, rng)
+    iid_parts = split_iid(train, nodes, rng)
+    shard_parts = split_by_label(train, nodes, 2, rng)
 
     rows = []
     results: dict[tuple[str, str], float] = {}
     for strategy in MergeStrategy:
-        iid_score = run(iid_parts, test, strategy, seed=1)
-        shard_score = run(shard_parts, test, strategy, seed=1)
+        iid_score = run(iid_parts, test, strategy, seed=1,
+                        duration=duration)
+        shard_score = run(shard_parts, test, strategy, seed=1,
+                          duration=duration)
         results[(strategy.value, "iid")] = iid_score
         results[(strategy.value, "shard")] = shard_score
         rows.append([strategy.value, f"{iid_score:.3f}",
                      f"{shard_score:.3f}"])
 
-    benchmark.pedantic(
-        lambda: run(iid_parts, test, MergeStrategy.AGE_WEIGHTED, seed=2),
-        rounds=2, iterations=1,
+    lines = format_table(
+        ["merge strategy", "IID accuracy", "2-label-shard accuracy"],
+        rows,
     )
+    iid_scores = [results[(s.value, "iid")] for s in MergeStrategy]
+    metrics = {
+        "age_weighted_iid_score": higher_is_better(
+            results[(MergeStrategy.AGE_WEIGHTED.value, "iid")]),
+        "min_iid_score": higher_is_better(min(iid_scores),
+                                          threshold_pct=10.0),
+        "age_weighted_shard_score": info(
+            results[(MergeStrategy.AGE_WEIGHTED.value, "shard")]),
+    }
+    return {"metrics": metrics, "lines": lines, "results": results}
 
-    report("E14", "gossip merge-strategy ablation",
-           format_table(
-               ["merge strategy", "IID accuracy", "2-label-shard accuracy"],
-               rows,
-           ))
 
+EXPERIMENT = Experiment("E14", "gossip merge-strategy ablation", run_bench)
+
+
+def test_e14_merge_strategy_ablation(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E14", "gossip merge-strategy ablation", payload["lines"])
+
+    results = payload["results"]
     # Every strategy must learn on IID data.
     for strategy in MergeStrategy:
         assert results[(strategy.value, "iid")] > 0.6

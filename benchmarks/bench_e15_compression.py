@@ -9,6 +9,8 @@ subsampled model messages and charts accuracy against bytes on the wire.
 from __future__ import annotations
 
 
+from harness import har_problem
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.ml.compression import CompressionConfig, CompressionKind
 from repro.ml.gossip import GossipConfig, GossipTrainer
 from repro.ml.models import SoftmaxRegressionModel
@@ -31,22 +33,26 @@ def factory():
     return SoftmaxRegressionModel(6, 5)
 
 
-def run(parts, test, compression: CompressionConfig):
+def run(parts, test, compression: CompressionConfig,
+        duration: float = DURATION_S):
     trainer = GossipTrainer(
         factory, parts, test,
         GossipConfig(wake_interval_s=10, local_steps=4, learning_rate=0.3,
                      compression=compression),
         seed=15,
     )
-    return trainer.run(DURATION_S, DURATION_S)
+    return trainer.run(duration, duration)
 
 
-def test_e15_compression_ablation(benchmark, har_problem):
-    parts, test = har_problem
+def run_bench(quick: bool = False) -> dict:
+    """Every message format on the shared split (seeded, deterministic)."""
+    parts, test = har_problem(12 if quick else 24,
+                              1500 if quick else 3000)
+    duration = 450.0 if quick else DURATION_S
     rows = []
     results = {}
     for name, compression in VARIANTS:
-        result = run(parts, test, compression)
+        result = run(parts, test, compression, duration)
         results[name] = result
         rows.append([
             name,
@@ -55,17 +61,35 @@ def test_e15_compression_ablation(benchmark, har_problem):
             f"{result.bytes_delivered / results['dense float64'].bytes_delivered:.2f}x",
         ])
 
-    benchmark.pedantic(
-        lambda: run(parts, test, VARIANTS[1][1]), rounds=1, iterations=1,
+    lines = format_table(
+        ["message format", "final accuracy", "bytes on wire", "vs dense"],
+        rows,
     )
+    dense = results["dense float64"]
+    quant8 = results["quantized 8-bit"]
+    metrics = {
+        "dense_bytes": lower_is_better(dense.bytes_delivered, unit="B"),
+        "quant8_bytes": lower_is_better(quant8.bytes_delivered, unit="B"),
+        "dense_score": higher_is_better(dense.final_mean_score),
+        "quant8_score": higher_is_better(quant8.final_mean_score),
+        "quant8_halves_traffic": higher_is_better(
+            1.0 if quant8.bytes_delivered < 0.5 * dense.bytes_delivered
+            else 0.0,
+            threshold_pct=1.0),
+        "subsample_score": info(
+            results["subsample 25%"].final_mean_score),
+    }
+    return {"metrics": metrics, "lines": lines, "results": results}
 
-    report("E15", "gossip message-compression ablation",
-           format_table(
-               ["message format", "final accuracy", "bytes on wire",
-                "vs dense"],
-               rows,
-           ))
 
+EXPERIMENT = Experiment("E15", "gossip message compression", run_bench)
+
+
+def test_e15_compression_ablation(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E15", "gossip message-compression ablation", payload["lines"])
+
+    results = payload["results"]
     dense = results["dense float64"]
     quant8 = results["quantized 8-bit"]
     # 8-bit quantization: big byte savings at negligible accuracy cost.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
 from repro.core.adversary import ExecutorBehavior, run_with_adversaries
 from repro.ml.datasets import (
@@ -61,40 +62,36 @@ def make_spec(workload_id: str) -> WorkloadSpec:
     )
 
 
-def test_e16_quorum_under_faults(benchmark):
+def expected_completion(name: str, should_complete: bool) -> bool:
+    # The documented limit: a colluding majority CAN confirm a wrong
+    # result — PDS2's quorum is an honest-majority mechanism, exactly
+    # like the 2-of-3 trust assumption the paper quotes for Falcon.
+    return True if name == "2 liars / 3" else should_complete
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Every adversarial scenario against one market (deterministic)."""
     market, consumer = build_market()
     rows = []
+    outcomes = []
+    matches = 0
+    crony_total = 0
+    paid_total = 0
     for index, (name, behaviors, should_complete) in enumerate(SCENARIOS):
-        # Wrong-result and self-dealing votes conflict with honest votes;
-        # note: with 2 liars voting the SAME wrong hash, the contract pays
-        # per its 2-vote quorum — quantifying the honest-majority
-        # assumption, exactly like the 2-of-3 trust assumption the paper
-        # quotes for Falcon.
         outcome = run_with_adversaries(
             market, consumer, make_spec(f"e16-{index}"), behaviors,
         )
+        outcomes.append((name, should_complete, outcome))
+        if outcome.completed == expected_completion(name, should_complete):
+            matches += 1
+        crony_total += outcome.crony_payout
+        paid_total += outcome.paid_total
         rows.append([
             name,
             outcome.final_state,
             f"{outcome.paid_total:,}",
             outcome.crony_payout,
         ])
-        if name == "2 liars / 3":
-            # The documented limit: a colluding majority CAN confirm a wrong
-            # result — PDS2's quorum is an honest-majority mechanism.
-            assert outcome.completed
-        else:
-            assert outcome.completed == should_complete
-        assert outcome.crony_payout == 0
-
-    market2, consumer2 = build_market()
-    benchmark.pedantic(
-        lambda: run_with_adversaries(
-            market2, consumer2, make_spec("e16-bench"),
-            [B.HONEST, B.HONEST, B.WRONG_RESULT],
-        ),
-        rounds=1, iterations=1,
-    )
 
     lines = format_table(
         ["scenario", "final state", "paid", "crony payout"], rows,
@@ -105,4 +102,30 @@ def test_e16_quorum_under_faults(benchmark):
         "confirmed; a colluding majority is the documented trust boundary",
         "(the same 2-of-3 honesty assumption the paper cites for Falcon).",
     ]
-    report("E16", "executor fault injection vs the result quorum", lines)
+    metrics = {
+        "scenarios_as_expected": higher_is_better(matches,
+                                                  threshold_pct=1.0),
+        "crony_payout_total": lower_is_better(crony_total, unit="tokens",
+                                              threshold_pct=1.0),
+        "paid_total": info(paid_total, unit="tokens"),
+        "scenarios": info(len(SCENARIOS)),
+    }
+    return {"metrics": metrics, "lines": lines, "outcomes": outcomes,
+            "matches": matches}
+
+
+EXPERIMENT = Experiment(
+    "E16", "executor fault injection vs quorum", run_bench,
+)
+
+
+def test_e16_quorum_under_faults(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E16", "executor fault injection vs the result quorum",
+           payload["lines"])
+
+    for name, should_complete, outcome in payload["outcomes"]:
+        assert outcome.completed == expected_completion(name,
+                                                        should_complete)
+        assert outcome.crony_payout == 0
+    assert payload["matches"] == len(SCENARIOS)

@@ -12,10 +12,10 @@ renting the same seconds to a cloud.
 from __future__ import annotations
 
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.rewards.economics import (
     ExecutorCostModel,
     ViabilityAnalysis,
-    sweep_infra_share,
 )
 from repro.tee.cost_model import mlp_profile
 from reporting import format_table, report
@@ -34,7 +34,8 @@ TOKEN_VALUE = 1e-5  # currency units per reward token
 EXECUTORS = 4
 
 
-def test_e17_executor_viability(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """Every workload class through the cost model (deterministic)."""
     costs = ExecutorCostModel()
     rows = []
     analyses = []
@@ -55,12 +56,6 @@ def test_e17_executor_viability(benchmark):
             f"{analysis.competitiveness_vs_cloud():,.0f}x",
         ])
 
-    benchmark.pedantic(
-        lambda: sweep_infra_share(analyses[1],
-                                  [0.01, 0.02, 0.05, 0.1, 0.2]),
-        rounds=5, iterations=1,
-    )
-
     lines = format_table(
         ["workload", "tee s", "revenue", "cost", "profit",
          "break-even share", "vs cloud"],
@@ -72,13 +67,33 @@ def test_e17_executor_viability(benchmark):
         f"{TOKEN_VALUE} units,",
         "consumer-grade TEE machine (1200 units / 3 y, 80 W @ 0.25/kWh).",
     ]
-    report("E17", "executor economics per workload class", lines)
+    shares = [a.break_even_infra_share() for a in analyses]
+    metrics = {
+        "viable_classes": higher_is_better(
+            sum(1 for a in analyses if a.is_viable), threshold_pct=1.0),
+        "break_even_share_large": lower_is_better(shares[2]),
+        "profit_medium": higher_is_better(
+            analyses[1].profit_per_executor, unit="units"),
+        "competitiveness_medium": info(
+            analyses[1].competitiveness_vs_cloud(), unit="x"),
+    }
+    return {"metrics": metrics, "lines": lines, "analyses": analyses,
+            "shares": shares}
+
+
+EXPERIMENT = Experiment("E17", "executor economics", run_bench)
+
+
+def test_e17_executor_viability(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E17", "executor economics per workload class",
+           payload["lines"])
 
     # At these pools every class is viable with margin...
-    for analysis in analyses:
+    for analysis in payload["analyses"]:
         assert analysis.is_viable
         assert analysis.break_even_infra_share() < 0.10
     # ...and larger workloads need a larger absolute pool but amortize the
     # executor's fixed job cost better (lower break-even share).
-    shares = [a.break_even_infra_share() for a in analyses]
+    shares = payload["shares"]
     assert shares[2] < shares[0]

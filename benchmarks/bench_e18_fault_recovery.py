@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.core import (
     FaultPlan,
     Marketplace,
@@ -67,12 +68,12 @@ def make_spec(workload_id: str) -> WorkloadSpec:
     )
 
 
-def run_cell(rate: float, recover: bool):
-    """One sweep cell: RUNS_PER_CELL independent seeded runs."""
+def run_cell(rate: float, recover: bool, runs: int = RUNS_PER_CELL):
+    """One sweep cell: ``runs`` independent seeded runs."""
     settled = degraded = 0
     gas: list[int] = []
     recoveries = faults = 0
-    for run in range(RUNS_PER_CELL):
+    for run in range(runs):
         seed = 1800 + run
         market, consumer, provider_names, executor_names = build_market(seed)
         plan = FaultPlan.sample(rate, executor_names, provider_names,
@@ -91,14 +92,19 @@ def run_cell(rate: float, recover: bool):
     return settled, degraded, gas, recoveries, faults
 
 
-def test_e18_fault_recovery_sweep(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """The fault-rate sweep, both engines (seeded, deterministic)."""
+    rates = (0.0, 0.35) if quick else FAULT_RATES
+    runs = 2 if quick else RUNS_PER_CELL
     rows = []
     clean_gas: dict[bool, float] = {}
+    settled_by: dict[tuple[bool, float], int] = {}
     for recover in (False, True):
-        for rate in FAULT_RATES:
+        for rate in rates:
             settled, degraded, gas, recoveries, faults = run_cell(
-                rate, recover,
+                rate, recover, runs=runs,
             )
+            settled_by[(recover, rate)] = settled
             mean_gas = sum(gas) / len(gas) if gas else 0.0
             if rate == 0.0:
                 clean_gas[recover] = mean_gas
@@ -107,30 +113,13 @@ def test_e18_fault_recovery_sweep(benchmark):
             rows.append([
                 f"{rate:.2f}",
                 "on" if recover else "off",
-                f"{settled}/{RUNS_PER_CELL}",
+                f"{settled}/{runs}",
                 degraded,
                 faults,
                 recoveries,
                 f"{mean_gas:,.0f}" if mean_gas else "-",
                 f"{overhead:+.1%}" if mean_gas else "-",
             ])
-    # The recovery engine's reason to exist: at the highest fault rate it
-    # settles strictly more sessions than the fail-fast baseline.
-    baseline_high = rows[len(FAULT_RATES) - 1]
-    recovered_high = rows[-1]
-    assert int(recovered_high[2].split("/")[0]) > \
-        int(baseline_high[2].split("/")[0])
-    # At rate 0 both engines are byte-identical: no faults, no overhead.
-    assert rows[0][6] == rows[len(FAULT_RATES)][6]
-
-    market, consumer, provider_names, executor_names = build_market(1899)
-    plan = FaultPlan.sample(0.35, executor_names, provider_names, seed=1899)
-    benchmark.pedantic(
-        lambda: run_with_faults(
-            market, consumer, make_spec("e18-bench"), plan,
-        ),
-        rounds=1, iterations=1,
-    )
 
     lines = format_table(
         ["fault rate", "recovery", "settled", "degraded", "faults",
@@ -139,9 +128,37 @@ def test_e18_fault_recovery_sweep(benchmark):
     )
     lines += [
         "",
-        f"{RUNS_PER_CELL} seeded runs per cell; faults drawn per actor by",
+        f"{runs} seeded runs per cell; faults drawn per actor by",
         "FaultPlan.sample (executor mid-execute crash, dropped provider",
         "submission, transient chain rejection).  Gas overhead is relative",
         "to the same engine's fault-free mean.",
     ]
-    report("E18", "lifecycle fault recovery sweep", lines)
+    high = rates[-1]
+    metrics = {
+        "settled_with_recovery_high": higher_is_better(
+            settled_by[(True, high)], threshold_pct=1.0),
+        "recovery_advantage": higher_is_better(
+            settled_by[(True, high)] - settled_by[(False, high)],
+            threshold_pct=1.0),
+        "mean_gas_clean": lower_is_better(clean_gas[True], unit="gas"),
+        "settled_fail_fast_high": info(settled_by[(False, high)]),
+    }
+    return {"metrics": metrics, "lines": lines, "rows": rows,
+            "settled_by": settled_by, "rates": rates, "runs": runs}
+
+
+EXPERIMENT = Experiment("E18", "lifecycle fault recovery sweep", run_bench)
+
+
+def test_e18_fault_recovery_sweep(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E18", "lifecycle fault recovery sweep", payload["lines"])
+
+    settled_by = payload["settled_by"]
+    high = payload["rates"][-1]
+    # The recovery engine's reason to exist: at the highest fault rate it
+    # settles strictly more sessions than the fail-fast baseline.
+    assert settled_by[(True, high)] > settled_by[(False, high)]
+    # At rate 0 both engines are byte-identical: no faults, no overhead.
+    rows = payload["rows"]
+    assert rows[0][6] == rows[len(payload["rates"])][6]

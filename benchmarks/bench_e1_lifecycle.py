@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.core import (
     LIFECYCLE_PHASES,
     Marketplace,
@@ -26,6 +27,8 @@ from repro.ml.datasets import (
 )
 from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
 from reporting import format_table, report
+
+TITLE = "five-role lifecycle, end to end"
 
 
 def build_market(num_providers: int, num_executors: int, seed: int = 7):
@@ -59,18 +62,15 @@ def har_spec(workload_id: str, confirmations: int) -> WorkloadSpec:
     )
 
 
-def test_e1_full_lifecycle(benchmark):
-    """Benchmark one full Fig. 2 lifecycle and report its vital signs."""
-    market, consumer = build_market(num_providers=8, num_executors=2)
-    runs = {"count": 0}
-
-    def run_once():
-        runs["count"] += 1
-        spec = har_spec(f"e1-run-{runs['count']}", confirmations=2)
-        return market.run_workload(consumer, spec)
-
-    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
-
+def run_bench(quick: bool = False) -> dict:
+    """One full Fig. 2 lifecycle, measured and itemized per phase."""
+    providers, executors = (6, 2) if quick else (8, 2)
+    market, consumer = build_market(providers, executors)
+    result = market.run_workload(consumer,
+                                 har_spec("e1-bench", confirmations=2))
+    trail = market.event_log.for_session(result.session_id)
+    wall = phase_wall_times(trail)
+    gas = phase_gas_totals(trail)
     rows = [
         ["providers participating", len(result.participants)],
         ["executors", len(result.executors)],
@@ -82,22 +82,36 @@ def test_e1_full_lifecycle(benchmark):
         ["audit clean", result.audit.clean],
         ["certificates recorded", result.audit.certificates],
     ]
-    # Per-phase breakdown straight off the event bus: wall-clock seconds
-    # and gas for the last benchmarked session's trail.
-    trail = market.event_log.for_session(result.session_id)
-    wall = phase_wall_times(trail)
-    gas = phase_gas_totals(trail)
     phase_rows = [
         [phase, f"{wall.get(phase, 0.0) * 1e3:.1f}", f"{gas.get(phase, 0):,}"]
         for phase in [p.name for p in LIFECYCLE_PHASES]
     ]
-    report("E1", "five-role lifecycle, end to end",
-           format_table(["metric", "value"], rows)
-           + ["", "phase timings (from the event bus):", ""]
-           + format_table(["phase", "wall ms", "gas"], phase_rows))
+    lines = (format_table(["metric", "value"], rows)
+             + ["", "phase timings (from the event bus):", ""]
+             + format_table(["phase", "wall ms", "gas"], phase_rows))
+    metrics = {
+        "gas_used": lower_is_better(result.gas_used, unit="gas"),
+        "blocks_mined": lower_is_better(result.blocks_mined, unit="blocks"),
+        "consumer_score": higher_is_better(result.consumer_score),
+        "reward_paid": info(result.total_paid, unit="tokens"),
+        "providers": info(len(result.participants)),
+        "audit_clean": higher_is_better(
+            1.0 if result.audit.clean else 0.0, threshold_pct=1.0),
+    }
+    return {"metrics": metrics, "lines": lines, "result": result,
+            "phase_gas": gas}
 
-    assert sum(gas.values()) == result.gas_used
 
+EXPERIMENT = Experiment("E1", TITLE, run_bench)
+
+
+def test_e1_full_lifecycle(benchmark):
+    """Benchmark one full Fig. 2 lifecycle and report its vital signs."""
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E1", TITLE, payload["lines"])
+
+    result = payload["result"]
+    assert sum(payload["phase_gas"].values()) == result.gas_used
     assert result.audit.clean
     assert result.consumer_score > 0.6
     assert result.total_paid == 1_000_000

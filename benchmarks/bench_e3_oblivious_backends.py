@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info
 from repro.crypto.paillier import encrypted_dot, generate_keypair
 from repro.crypto.smc import SMCEngine
 from repro.tee.cost_model import CostModel, NetworkProfile
@@ -87,20 +88,20 @@ def run_he(features, weights, rng) -> float:
     return time.perf_counter() - start
 
 
-def test_e3_backend_overheads(benchmark, rng):
-    features = rng.normal(size=(SAMPLES, FEATURES))
+def run_bench(quick: bool = False) -> dict:
+    """Measure all four backends on one seeded scoring workload."""
+    rng = np.random.default_rng(20260705)
+    samples = 50 if quick else SAMPLES
+    he_rows = 10 if quick else 40
+    features = rng.normal(size=(samples, FEATURES))
     weights = rng.normal(size=FEATURES)
     cost_model = CostModel()
     network = NetworkProfile()
 
-    plain_s = run_plain(features, weights)
-    plain_s = max(plain_s, 1e-6)
+    plain_s = max(run_plain(features, weights), 1e-6)
     tee_s = run_tee(features, weights, rng, cost_model)
     smc_s = run_smc(features, weights, rng, network)
-    he_s = run_he(features[:40], weights, rng) * (SAMPLES / 40)  # extrapolated
-
-    benchmark.pedantic(lambda: run_plain(features, weights), rounds=5,
-                       iterations=1)
+    he_s = run_he(features[:he_rows], weights, rng) * (samples / he_rows)
 
     rows = [
         ["plain", f"{plain_s:.5f}", "1x"],
@@ -108,10 +109,35 @@ def test_e3_backend_overheads(benchmark, rng):
         ["smc (3 parties)", f"{smc_s:.5f}", f"{smc_s / plain_s:,.0f}x"],
         ["he (paillier)", f"{he_s:.5f}", f"{he_s / plain_s:,.0f}x"],
     ]
-    report("E3", "oblivious backends, linear scoring "
-                 f"n={SAMPLES} d={FEATURES}",
-           format_table(["backend", "seconds", "slowdown"], rows))
+    lines = format_table(["backend", "seconds", "slowdown"], rows)
+    # Wall seconds are noisy on shared runners: only the qualitative
+    # ordering gates; the raw timings ride along as context.
+    metrics = {
+        "ordering_holds": higher_is_better(
+            1.0 if plain_s < tee_s < smc_s < he_s else 0.0,
+            threshold_pct=1.0),
+        "plain_s": info(plain_s, unit="s"),
+        "tee_s": info(tee_s, unit="s"),
+        "smc_s": info(smc_s, unit="s"),
+        "he_s": info(he_s, unit="s"),
+        "he_over_tee": info(he_s / tee_s, unit="x"),
+    }
+    return {"metrics": metrics, "lines": lines,
+            "seconds": (plain_s, tee_s, smc_s, he_s),
+            "samples": samples}
 
+
+EXPERIMENT = Experiment("E3", "oblivious backends, linear scoring",
+                        run_bench)
+
+
+def test_e3_backend_overheads(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E3", "oblivious backends, linear scoring "
+                 f"n={payload['samples']} d={FEATURES}",
+           payload["lines"])
+
+    plain_s, tee_s, smc_s, he_s = payload["seconds"]
     # The paper's qualitative ordering must hold.
     assert plain_s < tee_s < smc_s < he_s
     # And HE must be orders of magnitude beyond the TEE.

@@ -11,6 +11,7 @@ the HE and SMC factors stay orders of magnitude above plain.
 from __future__ import annotations
 
 
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.tee.cost_model import CostModel, ExecutionBackend, mlp_profile
 from reporting import format_table, report
 
@@ -22,10 +23,12 @@ SWEEP = [
 ]
 
 
-def test_e4_backend_scaling(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """Sweep the cost model over MLP sizes (fully deterministic)."""
     model = CostModel()
     rows = []
     tee_factors = []
+    rankings_ok = True
     for name, batch, features, hidden, outputs in SWEEP:
         profile = mlp_profile(batch=batch, features=features, hidden=hidden,
                               outputs=outputs)
@@ -44,23 +47,41 @@ def test_e4_backend_scaling(benchmark):
             f"{seconds[ExecutionBackend.SMC] / plain:,.0f}x",
             f"{seconds[ExecutionBackend.HE] / plain:,.0f}x",
         ])
-        # The ordering of Section III-B must hold at every size.
         ranking = model.ranking(profile)
-        assert ranking[0] == ExecutionBackend.PLAIN
-        assert ranking[1] == ExecutionBackend.TEE
-        assert ranking[-1] == ExecutionBackend.HE
-
-    benchmark.pedantic(
-        lambda: [model.estimate_seconds(b, mlp_profile(1024, 64, [256], 8))
-                 for b in ExecutionBackend],
-        rounds=10, iterations=1,
+        rankings_ok = rankings_ok and (
+            ranking[0] == ExecutionBackend.PLAIN
+            and ranking[1] == ExecutionBackend.TEE
+            and ranking[-1] == ExecutionBackend.HE
+        )
+    lines = format_table(
+        ["model", "MACs", "plain s", "tee", "smc", "he"], rows,
     )
+    metrics = {
+        "tee_factor_large": lower_is_better(tee_factors[-1], unit="x"),
+        "tee_factor_tiny": info(tee_factors[0], unit="x"),
+        "ordering_holds": higher_is_better(
+            1.0 if rankings_ok else 0.0, threshold_pct=1.0),
+        "tee_amortizes": higher_is_better(
+            1.0 if tee_factors == sorted(tee_factors, reverse=True) else 0.0,
+            threshold_pct=1.0),
+    }
+    return {"metrics": metrics, "lines": lines,
+            "tee_factors": tee_factors, "rankings_ok": rankings_ok}
 
+
+EXPERIMENT = Experiment(
+    "E4", "backend scaling over MLP size (cost-model estimates)", run_bench,
+)
+
+
+def test_e4_backend_scaling(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     report("E4", "backend scaling over MLP size (cost-model estimates)",
-           format_table(
-               ["model", "MACs", "plain s", "tee", "smc", "he"], rows,
-           ))
+           payload["lines"])
 
+    # The ordering of Section III-B must hold at every size.
+    assert payload["rankings_ok"]
+    tee_factors = payload["tee_factors"]
     # TEE amortizes its fixed costs: the overhead factor must fall
     # monotonically as the workload grows.
     assert tee_factors == sorted(tee_factors, reverse=True)

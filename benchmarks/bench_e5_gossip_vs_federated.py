@@ -12,6 +12,8 @@ and the load of the most-loaded node (gossip) versus the server (FedAvg).
 from __future__ import annotations
 
 
+from harness import har_problem
+from repro.bench import Experiment, higher_is_better, info, lower_is_better
 from repro.ml.federated import FederatedConfig, FederatedTrainer
 from repro.ml.gossip import GossipConfig, GossipTrainer
 from repro.ml.models import SoftmaxRegressionModel
@@ -25,28 +27,23 @@ def factory():
     return SoftmaxRegressionModel(6, 5)
 
 
-def test_e5_gossip_vs_federated(benchmark, har_problem):
-    parts, test = har_problem
+def run_bench(quick: bool = False) -> dict:
+    """Both protocols on the same seeded split (fully deterministic)."""
+    parts, test = har_problem(12 if quick else 24,
+                              1500 if quick else 3000)
+    duration = 600.0 if quick else DURATION_S
 
     gossip = GossipTrainer(
         factory, parts, test,
         GossipConfig(wake_interval_s=10, local_steps=4, learning_rate=0.3),
         seed=1,
-    ).run(DURATION_S, EVAL_EVERY_S)
+    ).run(duration, EVAL_EVERY_S)
     fed = FederatedTrainer(
         factory, parts, test,
         FederatedConfig(round_interval_s=30, client_fraction=0.5,
                         local_steps=4, learning_rate=0.3),
         seed=1,
-    ).run(DURATION_S, EVAL_EVERY_S)
-
-    def quick_gossip():
-        return GossipTrainer(
-            factory, parts, test,
-            GossipConfig(wake_interval_s=10, learning_rate=0.3), seed=2,
-        ).run(300.0, 300.0)
-
-    benchmark.pedantic(quick_gossip, rounds=2, iterations=1)
+    ).run(duration, EVAL_EVERY_S)
 
     rows = []
     for (t, g_acc), (_, f_acc) in zip(gossip.history, fed.history):
@@ -62,8 +59,27 @@ def test_e5_gossip_vs_federated(benchmark, har_problem):
         f"traffic: fedavg total {fed.bytes_delivered:,} B, "
         f"server {fed.server_bytes:,} B (~100%)",
     ]
-    report("E5", "gossip vs federated, 24 non-IID providers", lines)
+    metrics = {
+        "gossip_final_score": higher_is_better(gossip.final_mean_score),
+        "fedavg_final_score": higher_is_better(fed.final_score),
+        "gossip_bytes": lower_is_better(gossip.bytes_delivered, unit="B"),
+        "gossip_max_node_share": lower_is_better(
+            gossip.max_node_bytes / gossip.bytes_delivered),
+        "fedavg_server_bytes": info(fed.server_bytes, unit="B"),
+    }
+    return {"metrics": metrics, "lines": lines,
+            "gossip": gossip, "fed": fed}
 
+
+EXPERIMENT = Experiment("E5", "gossip vs federated learning", run_bench)
+
+
+def test_e5_gossip_vs_federated(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E5", "gossip vs federated, 24 non-IID providers",
+           payload["lines"])
+
+    gossip, fed = payload["gossip"], payload["fed"]
     # Gossip must be competitive: within 10 accuracy points of FedAvg.
     assert gossip.final_mean_score > fed.final_score - 0.10
     # And decentralized: its heaviest node is nowhere near a full hub.

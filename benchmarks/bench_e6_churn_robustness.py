@@ -14,6 +14,8 @@ sweeps node availability and compares:
 from __future__ import annotations
 
 
+from harness import har_problem
+from repro.bench import Experiment, higher_is_better, info
 from repro.ml.federated import FederatedConfig, FederatedTrainer
 from repro.ml.gossip import GossipConfig, GossipTrainer
 from repro.ml.models import SoftmaxRegressionModel
@@ -28,14 +30,18 @@ def factory():
     return SoftmaxRegressionModel(6, 5)
 
 
-def test_e6_churn_sweep(benchmark, har_problem):
-    parts, test = har_problem
+def run_bench(quick: bool = False) -> dict:
+    """The availability sweep (fully deterministic: seeded churn)."""
+    parts, test = har_problem(12 if quick else 24,
+                              1500 if quick else 3000)
+    duration = 600.0 if quick else DURATION_S
+    availabilities = [1.0, 0.3] if quick else AVAILABILITIES
+
     rows = []
     gossip_scores = []
     fed_churned_rounds = []
     fed_reliable_rounds = []
-
-    for availability in AVAILABILITIES:
+    for availability in availabilities:
         churn = (None if availability == 1.0
                  else ChurnModel.from_availability(availability,
                                                    mean_online_s=60))
@@ -43,17 +49,17 @@ def test_e6_churn_sweep(benchmark, har_problem):
             factory, parts, test,
             GossipConfig(wake_interval_s=10, learning_rate=0.3),
             seed=3, churn=churn,
-        ).run(DURATION_S, DURATION_S)
+        ).run(duration, duration)
         fed_reliable = FederatedTrainer(
             factory, parts, test,
             FederatedConfig(round_interval_s=30, learning_rate=0.3),
             seed=3, churn=churn, server_subject_to_churn=False,
-        ).run(DURATION_S, DURATION_S)
+        ).run(duration, duration)
         fed_churned = FederatedTrainer(
             factory, parts, test,
             FederatedConfig(round_interval_s=30, learning_rate=0.3),
             seed=3, churn=churn, server_subject_to_churn=True,
-        ).run(DURATION_S, DURATION_S)
+        ).run(duration, duration)
         gossip_scores.append(gossip.final_online_score)
         fed_churned_rounds.append(fed_churned.rounds_completed)
         fed_reliable_rounds.append(fed_reliable.rounds_completed)
@@ -66,23 +72,38 @@ def test_e6_churn_sweep(benchmark, har_problem):
             fed_churned.rounds_completed,
         ])
 
-    benchmark.pedantic(
-        lambda: GossipTrainer(
-            factory, parts, test, GossipConfig(learning_rate=0.3), seed=4,
-            churn=ChurnModel.from_availability(0.5),
-        ).run(300.0, 300.0),
-        rounds=2, iterations=1,
+    lines = format_table(
+        ["availability", "gossip acc", "fed acc (reliable srv)",
+         "fed acc (churned srv)", "fed rounds (rel)",
+         "fed rounds (churn)"],
+        rows,
     )
+    metrics = {
+        "gossip_score_full": higher_is_better(gossip_scores[0]),
+        "gossip_score_low_availability": higher_is_better(
+            gossip_scores[-1], threshold_pct=10.0),
+        "coordinator_fragile": higher_is_better(
+            1.0 if fed_churned_rounds[-1] < 0.6 * fed_reliable_rounds[-1]
+            else 0.0,
+            threshold_pct=1.0),
+        "fed_rounds_reliable_low": info(fed_reliable_rounds[-1]),
+        "fed_rounds_churned_low": info(fed_churned_rounds[-1]),
+    }
+    return {"metrics": metrics, "lines": lines,
+            "gossip_scores": gossip_scores,
+            "fed_reliable_rounds": fed_reliable_rounds,
+            "fed_churned_rounds": fed_churned_rounds}
 
-    report("E6", "availability sweep: gossip vs fedavg",
-           format_table(
-               ["availability", "gossip acc", "fed acc (reliable srv)",
-                "fed acc (churned srv)", "fed rounds (rel)",
-                "fed rounds (churn)"],
-               rows,
-           ))
+
+EXPERIMENT = Experiment("E6", "churn and coordinator failure", run_bench)
+
+
+def test_e6_churn_sweep(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("E6", "availability sweep: gossip vs fedavg", payload["lines"])
 
     # Gossip at 30% availability still learns something real.
-    assert gossip_scores[-1] > 0.45
+    assert payload["gossip_scores"][-1] > 0.45
     # A churned coordinator completes far fewer rounds than a reliable one.
-    assert fed_churned_rounds[-1] < 0.6 * fed_reliable_rounds[-1]
+    assert payload["fed_churned_rounds"][-1] < \
+        0.6 * payload["fed_reliable_rounds"][-1]

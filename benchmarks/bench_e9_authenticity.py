@@ -7,8 +7,11 @@ cost of putting signature verification on the executor's ingest path.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.bench import Experiment, higher_is_better, info
 from repro.identity.authenticity import (
     AuthenticityVerifier,
     simulate_adversarial_stream,
@@ -21,7 +24,9 @@ HONEST_PER_DEVICE = 60
 DEVICES = 3
 
 
-def run_detection(attack_rate: float, seed: int):
+def run_detection(attack_rate: float, seed: int,
+                  honest_per_device: int = HONEST_PER_DEVICE,
+                  devices: int = DEVICES):
     rng = np.random.default_rng(seed)
     manufacturer = Manufacturer("acme", b"root", trust_score=0.9)
     registry = ManufacturerRegistry()
@@ -29,10 +34,10 @@ def run_detection(attack_rate: float, seed: int):
     verifier = AuthenticityVerifier(registry)
     honest_total = 0
     attack_total = 0
-    for device_index in range(DEVICES):
+    for device_index in range(devices):
         device = manufacturer.build_device(f"SN-{device_index}")
         stream = simulate_adversarial_stream(
-            device, HONEST_PER_DEVICE, attack_rate, rng,
+            device, honest_per_device, attack_rate, rng,
             start_time=device_index * 10_000.0,
         )
         honest_total += sum(1 for _, a in stream if not a)
@@ -48,12 +53,22 @@ def run_detection(attack_rate: float, seed: int):
     return honest_total, attack_total, precision, recall, verifier
 
 
-def test_e9_detection_sweep(benchmark):
+def run_bench(quick: bool = False) -> dict:
+    """The adversarial-rate sweep plus a verifier throughput probe."""
+    rates = [0.1, 0.5] if quick else ATTACK_RATES
+    per_device = 30 if quick else HONEST_PER_DEVICE
+    devices = 2 if quick else DEVICES
+
     rows = []
-    for index, attack_rate in enumerate(ATTACK_RATES):
+    precisions = []
+    recalls = []
+    for index, attack_rate in enumerate(rates):
         honest, attacks, precision, recall, verifier = run_detection(
-            attack_rate, seed=60 + index
+            attack_rate, seed=60 + index,
+            honest_per_device=per_device, devices=devices,
         )
+        precisions.append(precision)
+        recalls.append(recall)
         reasons = ", ".join(f"{k}:{v}" for k, v in
                             sorted(verifier.stats.rejected.items()))
         rows.append([
@@ -61,32 +76,46 @@ def test_e9_detection_sweep(benchmark):
             f"{precision:.3f}", f"{recall:.3f}", reasons,
         ])
 
-    # Throughput: honest verification cost per reading.
-    rng = np.random.default_rng(99)
+    # Throughput: honest verification cost per reading (wall clock).
     manufacturer = Manufacturer("acme", b"root")
     registry = ManufacturerRegistry()
     registry.register(manufacturer)
     device = manufacturer.build_device("SN-T")
+    count = 20 if quick else 50
     readings = [
         device.produce_reading({"v": float(i)}, timestamp=float(i))
-        for i in range(50)
+        for i in range(count)
     ]
+    verifier = AuthenticityVerifier(registry)
+    start = time.perf_counter()
+    verifier.verify_batch(
+        [(reading, device.certificate) for reading in readings]
+    )
+    elapsed = max(time.perf_counter() - start, 1e-9)
 
-    def verify_batch():
-        verifier = AuthenticityVerifier(registry)
-        return verifier.verify_batch(
-            [(reading, device.certificate) for reading in readings]
-        )
+    lines = format_table(
+        ["attack rate", "honest", "attacks", "precision", "recall",
+         "rejection reasons"],
+        rows,
+    )
+    lines += ["", f"verifier throughput: {count / elapsed:,.0f} readings/s"]
+    metrics = {
+        "min_precision": higher_is_better(min(precisions),
+                                          threshold_pct=1.0),
+        "min_recall": higher_is_better(min(recalls), threshold_pct=1.0),
+        "verify_throughput_per_s": info(count / elapsed, unit="1/s"),
+    }
+    return {"metrics": metrics, "lines": lines, "rows": rows}
 
-    benchmark.pedantic(verify_batch, rounds=3, iterations=1)
 
+EXPERIMENT = Experiment("E9", "data-authenticity detection", run_bench)
+
+
+def test_e9_detection_sweep(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
     report("E9", "authenticity detection vs adversarial rate",
-           format_table(
-               ["attack rate", "honest", "attacks", "precision", "recall",
-                "rejection reasons"],
-               rows,
-           ))
+           payload["lines"])
 
     # Signature-based detection is exact: perfect precision and recall.
-    for row in rows:
+    for row in payload["rows"]:
         assert row[3] == "1.000" and row[4] == "1.000"

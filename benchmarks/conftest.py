@@ -8,7 +8,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-# Make the sibling reporting module importable regardless of rootdir.
+# Make the sibling harness/reporting modules importable regardless of
+# rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
 
 
@@ -20,14 +21,6 @@ def rng() -> np.random.Generator:
 @pytest.fixture(scope="session")
 def har_problem():
     """A shared HAR dataset split for the ML experiments."""
-    from repro.ml.datasets import (
-        make_iot_activity,
-        split_dirichlet,
-        train_test_split,
-    )
+    from harness import har_problem as build
 
-    rng = np.random.default_rng(424242)
-    data = make_iot_activity(3000, rng)
-    train, test = train_test_split(data, 0.25, rng)
-    parts = split_dirichlet(train, 24, alpha=0.5, rng=rng, min_samples=15)
-    return parts, test
+    return build()

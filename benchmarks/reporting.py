@@ -69,10 +69,12 @@ def report(experiment_id: str, title: str, lines: list[str]) -> None:
     executes several benchmarks in one process.
     """
     from repro import telemetry
+    from repro.bench.schema import provenance
 
     RESULTS_DIR.mkdir(exist_ok=True)
     snapshot = telemetry.snapshot(telemetry.REGISTRY)
     telemetry.reset()
+    snapshot["provenance"] = provenance()
     stem = experiment_id.lower()
     (RESULTS_DIR / f"{stem}.metrics.json").write_text(
         json.dumps(snapshot, indent=2) + "\n"

@@ -12,6 +12,10 @@ Usage::
     python -m repro trace run.jsonl      # replay a session's event timeline
     python -m repro metrics run.jsonl    # Prometheus view of a run
     python -m repro spans run.jsonl      # flame-style span tree of a run
+    python -m repro bench --suite quick --compare BENCH_seed.json
+                                         # benchmark trajectory + CI gate
+    python -m repro profile --format collapsed
+                                         # deterministic sampling profile
 
 The CLI exists so a downstream user can see the platform move without
 writing code; anything serious should use the Python API (see README).
@@ -25,6 +29,20 @@ import sys
 from typing import Any, TextIO
 
 import numpy as np
+
+
+def _labeled_snapshot() -> dict:
+    """Snapshot the process registry with run provenance attached.
+
+    Readers (``repro metrics``, the bench harness) ignore unknown top-level
+    keys, so old sidecars without ``provenance`` stay loadable.
+    """
+    from repro import telemetry
+    from repro.bench.schema import provenance
+
+    snap = telemetry.snapshot(telemetry.REGISTRY)
+    snap["provenance"] = provenance()
+    return snap
 
 
 class OutputWriter:
@@ -94,7 +112,6 @@ def _cmd_info(args: argparse.Namespace, out: OutputWriter) -> int:
 
 
 def _cmd_quickstart(args: argparse.Namespace, out: OutputWriter) -> int:
-    from repro import telemetry
     from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
     from repro.ml.datasets import (
         make_iot_activity,
@@ -143,7 +160,7 @@ def _cmd_quickstart(args: argparse.Namespace, out: OutputWriter) -> int:
         # prefers this exact view over a replay-derived approximation.
         metrics_path = args.trace + ".metrics.json"
         with open(metrics_path, "w", encoding="utf-8") as fh:
-            json.dump(telemetry.snapshot(telemetry.REGISTRY), fh, indent=2)
+            json.dump(_labeled_snapshot(), fh, indent=2)
         out.line(f"event trace written to {args.trace} "
                  f"(replay: python -m repro trace {args.trace})")
         out.line(f"metrics snapshot written to {metrics_path} "
@@ -170,7 +187,6 @@ def _cmd_quickstart(args: argparse.Namespace, out: OutputWriter) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace, out: OutputWriter) -> int:
-    from repro import telemetry
     from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
     from repro.core.resilience import SCENARIOS, run_with_faults
     from repro.ml.datasets import (
@@ -231,7 +247,7 @@ def _cmd_faults(args: argparse.Namespace, out: OutputWriter) -> int:
                 market.events.detach(sink)
         metrics_path = args.trace + ".metrics.json"
         with open(metrics_path, "w", encoding="utf-8") as fh:
-            json.dump(telemetry.snapshot(telemetry.REGISTRY), fh, indent=2)
+            json.dump(_labeled_snapshot(), fh, indent=2)
         out.line(f"event trace written to {args.trace} "
                  f"(replay: python -m repro trace {args.trace})")
         out.line(f"metrics snapshot written to {metrics_path} "
@@ -517,6 +533,136 @@ def _cmd_spans(args: argparse.Namespace, out: OutputWriter) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out: OutputWriter) -> int:
+    from pathlib import Path
+
+    from repro.bench import compare_trajectories, git_sha, run_suite
+
+    try:
+        trajectory = run_suite(
+            suite=args.suite,
+            only=args.only or None,
+            progress=out.line,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        out.error(str(exc))
+        return 2
+
+    output = args.output or f"BENCH_{git_sha()}.json"
+    try:
+        Path(output).write_text(
+            json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+        )
+    except OSError as exc:
+        out.error(f"cannot write {output!r}: {exc}")
+        return 2
+    out.line(f"trajectory written to {output}")
+    out.set("output", output)
+    out.set("suite", args.suite)
+
+    exit_code = 0
+    errored = sorted(
+        experiment_id
+        for experiment_id, entry in trajectory["experiments"].items()
+        if entry["status"] != "ok"
+    )
+    if errored:
+        out.error("experiment(s) errored: " + ", ".join(errored))
+        exit_code = 1
+
+    if args.compare:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except OSError as exc:
+            out.error(f"cannot read baseline {args.compare!r}: {exc}")
+            return 2
+        except json.JSONDecodeError as exc:
+            out.error(f"baseline {args.compare!r} is not valid JSON: {exc}")
+            return 2
+        try:
+            report = compare_trajectories(baseline, trajectory)
+        except ValueError as exc:
+            out.error(str(exc))
+            return 2
+        out.line("")
+        out.line(f"comparison against {args.compare}:")
+        out.line(report.render())
+        out.set("comparison_ok", report.ok)
+        out.set("regressions",
+                [delta.describe() for delta in report.regressions])
+        if not report.ok:
+            exit_code = 1
+    out.set("ok", exit_code == 0)
+    return exit_code
+
+
+def _cmd_profile(args: argparse.Namespace, out: OutputWriter) -> int:
+    """Profile one seeded quickstart workload and print flame data.
+
+    ``calls`` mode is the default so two identical invocations in fresh
+    processes emit byte-identical collapsed stacks (the determinism tests
+    run this command twice via subprocess and diff the output).
+    """
+    from repro.core import Marketplace, ModelSpec, TrainingSpec, WorkloadSpec
+    from repro.ml.datasets import (
+        make_iot_activity,
+        split_dirichlet,
+        train_test_split,
+    )
+    from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+    from repro.telemetry import (
+        Profiler,
+        profile_snapshot,
+        profile_to_collapsed,
+        render_profile_tree,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    data = make_iot_activity(800, rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, args.providers, 1.0, rng, min_samples=15)
+
+    market = Marketplace(seed=args.seed)
+    for index, part in enumerate(parts):
+        market.add_provider(f"user-{index}", part,
+                            SemanticAnnotation("heart_rate",
+                                               {"rate_hz": 1.0}))
+    consumer = market.add_consumer("consumer", validation=validation)
+    for index in range(args.executors):
+        market.add_executor(f"executor-{index}")
+
+    spec = WorkloadSpec(
+        workload_id="cli-profile",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=60, learning_rate=0.3),
+        reward_pool=1_000_000,
+        min_providers=max(1, args.providers // 2),
+        min_samples=100,
+        required_confirmations=min(2, args.executors),
+    )
+    profiler = Profiler(mode=args.mode, hz=args.hz,
+                        call_interval=args.interval)
+    with profiler:
+        market.run_workload(consumer, spec)
+    profile = profiler.result()
+
+    if not profile.total_samples:
+        out.error("profiler captured no samples")
+        return 1
+    if args.format == "collapsed":
+        # Raw flamegraph fodder on stdout; everything else would pollute
+        # the byte-identical output the determinism tests diff.
+        out.line(profile_to_collapsed(profile).rstrip("\n"))
+    else:
+        out.line(f"{profile.total_samples} samples "
+                 f"({profile.attribution_ratio:.1%} span-attributed, "
+                 f"mode={profile.mode})")
+        out.line(render_profile_tree(profile))
+    out.set("profile", profile_snapshot(profile))
+    return 0
+
+
 #: Scenario names accepted by `repro faults` (mirrors
 #: ``repro.core.resilience.SCENARIOS``; a test asserts the two match).
 FAULT_SCENARIOS = (
@@ -628,6 +774,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only spans of one session id")
     add_json_flag(spans)
     spans.set_defaults(handler=_cmd_spans)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark suite into a BENCH trajectory"
+    )
+    bench.add_argument("--suite", choices=["quick", "full"],
+                       default="quick",
+                       help="quick = reduced parameterizations for the CI "
+                            "gate; full = the complete experiment sweep")
+    bench.add_argument("--only", action="append", metavar="ID",
+                       help="run only these experiment ids (repeatable, "
+                            "e.g. --only E1 --only E12)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff the run against a committed BENCH_*.json "
+                            "baseline; exit nonzero on regression")
+    bench.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="trajectory output path (default: "
+                            "BENCH_<git-sha>.json)")
+    add_json_flag(bench)
+    bench.set_defaults(handler=_cmd_bench)
+
+    profile = subparsers.add_parser(
+        "profile", help="sampling-profile one workload into flame data"
+    )
+    profile.add_argument("--mode", choices=["calls", "sim", "wall"],
+                         default="calls",
+                         help="sampling trigger (calls = deterministic, "
+                              "the default)")
+    profile.add_argument("--interval", type=int, default=64,
+                         help="calls mode: sample every Nth profile event")
+    profile.add_argument("--hz", type=float, default=97.0,
+                         help="wall/sim mode: sampling rate")
+    profile.add_argument("--format", choices=["collapsed", "tree"],
+                         default="tree",
+                         help="collapsed = flamegraph.pl input lines; "
+                              "tree = indented terminal view")
+    profile.add_argument("--providers", type=int, default=6)
+    profile.add_argument("--executors", type=int, default=2)
+    profile.add_argument("--seed", type=int, default=42)
+    add_json_flag(profile)
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

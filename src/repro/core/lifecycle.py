@@ -77,6 +77,7 @@ from repro.governance.contracts import (
 from repro.rewards.distribution import normalize_weights_bps
 from repro.tee.enclave import EnclaveCode
 from repro.telemetry import metrics as _tm
+from repro.telemetry.profiler import profiled
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -622,7 +623,7 @@ class WorkloadSession:
         self.emit("phase.started")
         with self.market.tracer.span(
             f"lifecycle.phase.{phase.name}", session_id=self.session_id,
-        ) as span:
+        ) as span, profiled(f"phase.{phase.name}"):
             try:
                 interceptor = self.interceptors.get(phase.name)
                 if interceptor is not None:

@@ -219,15 +219,31 @@ class Marketplace:
 
     @contextmanager
     def active_session(self, session: WorkloadSession) -> Iterator[None]:
-        """Attribute chain/TEE events to ``session`` while it runs."""
+        """Attribute chain/TEE events to ``session`` while it runs.
+
+        Beyond event attribution, this scopes the whole telemetry layer to
+        the session: every span opened inside (chain, TEE, storage — not
+        just lifecycle) inherits a ``session_id`` attribute via the tracer
+        context, and every metric child touched inside is split out under a
+        ``session_id`` ambient label, so profiler and harness output can be
+        filtered per session.
+        """
         if self._active is not None:
             raise MarketplaceError(
                 f"session {self._active.session_id} is already running"
             )
         self._active = session
+        had_context = "session_id" in self.tracer.context
+        saved_context = self.tracer.context.get("session_id")
+        self.tracer.context["session_id"] = session.session_id
         try:
-            yield
+            with self.metrics.context_labels(session_id=session.session_id):
+                yield
         finally:
+            if had_context:
+                self.tracer.context["session_id"] = saved_context
+            else:
+                self.tracer.context.pop("session_id", None)
             self._active = None
 
     def publish_event(self, name: str, *,

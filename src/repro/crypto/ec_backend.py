@@ -31,6 +31,7 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.telemetry import metrics as _tm
+from repro.telemetry.profiler import profiled_function
 
 # secp256k1 domain parameters (y^2 = x^3 + 7 over F_p, a = 0).
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -51,17 +52,17 @@ _FB_TABLE_SIZE = (1 << _FB_WINDOW_BITS) - 1  # odd+even digits 1..15
 _WNAF_BASE_WIDTH = 7
 _WNAF_POINT_WIDTH = 5
 
-# Scalar-multiplication call counters, one pre-resolved child per kind so the
-# hot paths pay a single bound-method call each.  Spans are deliberately
-# absent here: these functions sit under crypto.sign/verify timing already.
+# Scalar-multiplication call counters.  Children are resolved per call (not
+# pre-bound at import) so the series splits under the ambient session_id
+# while a workload runs; the lookup is one dict hit against the O(100µs)
+# multiplication it counts.  Spans are deliberately absent here: these
+# functions sit under crypto.sign/verify timing already, and the sampling
+# profiler names them via `profiled` regions instead.
 _SCALAR_MULTS = _tm.counter(
     "pds2_crypto_scalar_mult_total",
     "Elliptic-curve scalar multiplications, by algorithm kind",
     labelnames=("kind",),
 )
-_SM_BASE = _SCALAR_MULTS.labels(kind="base")
-_SM_POINT = _SCALAR_MULTS.labels(kind="point")
-_SM_DOUBLE = _SCALAR_MULTS.labels(kind="double_base")
 
 
 def field_inverse(value: int) -> int:
@@ -289,9 +290,10 @@ def _point_wnaf_table(x: int, y: int) -> list[AffinePoint]:
 # -- public scalar-multiplication API ----------------------------------------
 
 
+@profiled_function("ec.scalar_mult_base")
 def scalar_mult_base(scalar: int) -> AffinePoint:
     """``scalar · G`` via the fixed-base window table (no doublings)."""
-    _SM_BASE.inc()
+    _SCALAR_MULTS.labels(kind="base").inc()
     scalar %= N
     if scalar == 0:
         return None
@@ -330,9 +332,10 @@ def scalar_mult_base(scalar: int) -> AffinePoint:
     return to_affine((ax, ay, az))
 
 
+@profiled_function("ec.scalar_mult")
 def scalar_mult(scalar: int, point: AffinePoint) -> AffinePoint:
     """``scalar · point`` via width-5 wNAF with Jacobian accumulation."""
-    _SM_POINT.inc()
+    _SCALAR_MULTS.labels(kind="point").inc()
     scalar %= N
     if scalar == 0 or point is None:
         return None
@@ -483,6 +486,7 @@ def _signed_stream(scalar: int, width: int,
     return wnaf(scalar, width), table
 
 
+@profiled_function("ec.double_scalar_mult_base")
 def double_scalar_mult_base(scalar_g: int, scalar_q: int,
                             point_q: AffinePoint) -> AffinePoint:
     """``scalar_g · G + scalar_q · Q`` with one shared doubling chain.
@@ -500,7 +504,7 @@ def double_scalar_mult_base(scalar_g: int, scalar_q: int,
         return scalar_mult_base(scalar_g)
     if scalar_g == 0:
         return scalar_mult(scalar_q, point_q)
-    _SM_DOUBLE.inc()
+    _SCALAR_MULTS.labels(kind="double_base").inc()
     table_q = _point_wnaf_table(point_q[0], point_q[1])
     params = _glv_params()
     if params is not None:

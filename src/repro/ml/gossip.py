@@ -37,6 +37,7 @@ from repro.net.topology import (
     random_regular_overlay,
 )
 from repro.telemetry import metrics as _tm
+from repro.telemetry.profiler import profiled_function
 from repro.telemetry.tracing import tracer as _tracer
 from repro.utils.rng import derive_rng
 
@@ -157,6 +158,7 @@ class GossipNode:
         )
         self.tracked.age += self.config.local_steps
 
+    @profiled_function("gossip.merge")
     def on_message(self, sender: str,
                    message: "CompressedUpdate | ModelMessage") -> None:
         """Merge the incoming model, then take one local correction step."""

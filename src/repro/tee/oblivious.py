@@ -16,18 +16,16 @@ import numpy as np
 
 from repro.errors import TEEError
 from repro.telemetry import metrics as _tm
+from repro.telemetry.profiler import profiled_function
 
-# One pre-resolved child per operation; ``select`` is deliberately uncounted
-# because the sort network calls it twice per compare-exchange and the
+# One counter child per operation, resolved per call so the series splits
+# under the ambient session_id; ``select`` is deliberately uncounted because
+# the sort network calls it twice per compare-exchange and the
 # compare-exchange count already captures that work.
 _OBLIVIOUS_OPS = _tm.counter(
     "pds2_tee_oblivious_ops_total", "Oblivious primitive invocations, by op",
     labelnames=("op",),
 )
-_OP_ACCESS = _OBLIVIOUS_OPS.labels(op="access")
-_OP_WRITE = _OBLIVIOUS_OPS.labels(op="write")
-_OP_SORT = _OBLIVIOUS_OPS.labels(op="sort")
-_OP_AGGREGATE = _OBLIVIOUS_OPS.labels(op="aggregate_add")
 _SORT_EXCHANGES = _tm.counter(
     "pds2_tee_oblivious_compare_exchanges_total",
     "Compare-exchanges executed by bitonic sorts",
@@ -58,6 +56,7 @@ def oblivious_select(condition: bool, if_true: float, if_false: float) -> float:
     return flag * if_true + (1.0 - flag) * if_false
 
 
+@profiled_function("tee.oblivious_access")
 def oblivious_access(array: np.ndarray, index: int,
                      counter: TouchCounter | None = None) -> float:
     """Read ``array[index]`` while touching *every* element.
@@ -67,7 +66,7 @@ def oblivious_access(array: np.ndarray, index: int,
     """
     if not 0 <= index < len(array):
         raise TEEError("oblivious access index out of range")
-    _OP_ACCESS.inc()
+    _OBLIVIOUS_OPS.labels(op="access").inc()
     counter = counter if counter is not None else TouchCounter()
     result = 0.0
     for position in range(len(array)):
@@ -77,12 +76,13 @@ def oblivious_access(array: np.ndarray, index: int,
     return result
 
 
+@profiled_function("tee.oblivious_write")
 def oblivious_write(array: np.ndarray, index: int, value: float,
                     counter: TouchCounter | None = None) -> None:
     """Write ``array[index] = value`` touching every element."""
     if not 0 <= index < len(array):
         raise TEEError("oblivious write index out of range")
-    _OP_WRITE.inc()
+    _OBLIVIOUS_OPS.labels(op="write").inc()
     counter = counter if counter is not None else TouchCounter()
     for position in range(len(array)):
         counter.element_touches += 1
@@ -106,6 +106,7 @@ def _next_power_of_two(n: int) -> int:
     return power
 
 
+@profiled_function("tee.oblivious_sort")
 def oblivious_sort(values: np.ndarray,
                    counter: TouchCounter | None = None) -> np.ndarray:
     """Bitonic-network sort: the compare-exchange sequence depends only on n.
@@ -114,7 +115,7 @@ def oblivious_sort(values: np.ndarray,
     branch-free ``flag * a`` arithmetic into NaN), runs the bitonic network,
     and strips the padding.  Returns a new ascending array.
     """
-    _OP_SORT.inc()
+    _OBLIVIOUS_OPS.labels(op="sort").inc()
     counter = counter if counter is not None else TouchCounter()
     exchanges_before = counter.compare_exchanges
     n = len(values)
@@ -157,11 +158,12 @@ class ObliviousAggregator:
         self._sums = np.zeros(self.num_buckets)
         self._counts = np.zeros(self.num_buckets)
 
+    @profiled_function("tee.oblivious_aggregate_add")
     def add(self, bucket: int, value: float) -> None:
         """Accumulate ``value`` into ``bucket`` touching all buckets."""
         if not 0 <= bucket < self.num_buckets:
             raise TEEError("bucket index out of range")
-        _OP_AGGREGATE.inc()
+        _OBLIVIOUS_OPS.labels(op="aggregate_add").inc()
         for position in range(self.num_buckets):
             self.counter.element_touches += 1
             match = 1.0 if position == bucket else 0.0

@@ -26,8 +26,11 @@ lifecycle phases are ``lifecycle.phase.<name>`` under a
 
 from repro.telemetry.exporters import (
     parse_prometheus,
+    profile_snapshot,
+    profile_to_collapsed,
     registry_from_events,
     registry_samples,
+    render_profile_tree,
     render_span_tree,
     snapshot,
     spans_from_events,
@@ -38,6 +41,7 @@ from repro.telemetry.metrics import (
     GAS_BUCKETS,
     LATENCY_BUCKETS_S,
     MAX_LABEL_SETS,
+    QUANTILE_POINTS,
     REGISTRY,
     Counter,
     Gauge,
@@ -46,6 +50,13 @@ from repro.telemetry.metrics import (
     counter,
     gauge,
     histogram,
+)
+from repro.telemetry.profiler import (
+    Profile,
+    Profiler,
+    active_profiler,
+    profiled,
+    profiled_function,
 )
 from repro.telemetry.tracing import (
     TRACER,
@@ -71,21 +82,30 @@ __all__ = [
     "GAS_BUCKETS",
     "LATENCY_BUCKETS_S",
     "MAX_LABEL_SETS",
+    "QUANTILE_POINTS",
     "REGISTRY",
     "TRACER",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profile",
+    "Profiler",
     "Span",
     "Tracer",
+    "active_profiler",
     "build_span_tree",
     "counter",
     "gauge",
     "histogram",
     "parse_prometheus",
+    "profile_snapshot",
+    "profile_to_collapsed",
+    "profiled",
+    "profiled_function",
     "registry_from_events",
     "registry_samples",
+    "render_profile_tree",
     "render_span_tree",
     "reset",
     "snapshot",

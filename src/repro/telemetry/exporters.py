@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 
 from repro.errors import TelemetryError
 from repro.telemetry.metrics import (
+    QUANTILE_POINTS,
     Counter,
     Gauge,
     Histogram,
@@ -88,6 +89,16 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                              f"{_format_value(child.sum)}")
                 lines.append(f"{metric.name}_count{_format_labels(labels)} "
                              f"{child.count}")
+                # Interpolated quantiles as derived gauges (`<name>_p50` …)
+                # rather than `quantile` labels, which the histogram type
+                # reserves for summaries; emitted only once observed.
+                if child.count:
+                    quantiles = child.quantiles()
+                    for _, key in QUANTILE_POINTS:
+                        lines.append(
+                            f"{metric.name}_{key}{_format_labels(labels)} "
+                            f"{_format_value(quantiles[key])}"
+                        )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -152,6 +163,11 @@ def registry_samples(registry: MetricsRegistry) -> dict[
                 base = tuple(sorted(labels.items()))
                 flat[(f"{metric.name}_sum", base)] = child.sum
                 flat[(f"{metric.name}_count", base)] = float(child.count)
+                if child.count:
+                    quantiles = child.quantiles()
+                    for _, qkey in QUANTILE_POINTS:
+                        flat[(f"{metric.name}_{qkey}", base)] = \
+                            quantiles[qkey]
     return flat
 
 
@@ -213,6 +229,86 @@ def render_span_tree(spans: Iterable[Span]) -> str:
 
     for root in roots:
         walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Profiler flame data (collapsed stacks + terminal tree)
+# ---------------------------------------------------------------------------
+
+
+def profile_to_collapsed(profile) -> str:
+    """Render a :class:`~repro.telemetry.profiler.Profile` in the
+    collapsed-stack format flamegraph tools eat (``a;b;c 42`` per line).
+
+    Lines are sorted, so the same sample multiset always yields
+    byte-identical output — the property the determinism tests pin down.
+    """
+    lines = [";".join(stack) + f" {count}"
+             for stack, count in profile.samples.items()]
+    return "\n".join(sorted(lines)) + ("\n" if lines else "")
+
+
+def profile_snapshot(profile) -> dict:
+    """JSON-serializable profile dump (inverse:
+    :meth:`~repro.telemetry.profiler.Profile.from_dict`)."""
+    return profile.to_dict()
+
+
+def render_profile_tree(profile, max_depth: int = 0,
+                        min_percent: float = 0.5) -> str:
+    """Render merged flame data as an indented tree, heaviest branch first.
+
+    Each row shows the inclusive sample count and percentage for one stack
+    prefix; branches below ``min_percent`` of total samples are folded to
+    keep terminal output readable.  ``max_depth=0`` means unlimited.
+    """
+    total = profile.total_samples
+    if not total:
+        return "(no samples)"
+
+    # Aggregate inclusive counts per stack prefix.
+    root: dict = {}
+    counts: dict[int, int] = {}
+
+    def node_for(prefix_node: dict, frame: str) -> dict:
+        child = prefix_node.get(frame)
+        if child is None:
+            child = prefix_node[frame] = {}
+            counts[id(child)] = 0
+        return child
+
+    for stack, count in profile.samples.items():
+        node = root
+        for frame in stack:
+            node = node_for(node, frame)
+            counts[id(node)] += count
+
+    lines = [f"profile: {total} samples, mode={profile.mode}, "
+             f"{profile.attribution_ratio * 100.0:.1f}% span-attributed"]
+
+    def walk(node: dict, prefix: str, depth: int) -> None:
+        if max_depth and depth >= max_depth:
+            return
+        kids = sorted(node.items(),
+                      key=lambda item: (-counts[id(item[1])], item[0]))
+        visible = [(frame, child) for frame, child in kids
+                   if counts[id(child)] * 100.0 / total >= min_percent]
+        folded = len(kids) - len(visible)
+        for index, (frame, child) in enumerate(visible):
+            last = index == len(visible) - 1 and not folded
+            connector = "└─ " if last else "├─ "
+            inclusive = counts[id(child)]
+            lines.append(
+                f"{prefix}{connector}{frame}  "
+                f"{inclusive} ({inclusive * 100.0 / total:.1f}%)"
+            )
+            walk(child, prefix + ("   " if last else "│  "), depth + 1)
+        if folded:
+            lines.append(f"{prefix}└─ … {folded} branch(es) "
+                         f"< {min_percent}%")
+
+    walk(root, "", 0)
     return "\n".join(lines)
 
 

@@ -25,13 +25,26 @@ alive, so module-level handles never dangle.
 from __future__ import annotations
 
 from bisect import bisect_left
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import TelemetryError
 
 #: Default ceiling on distinct label sets per metric (the cardinality guard).
 MAX_LABEL_SETS = 1024
+
+#: Quantile points estimated from histogram buckets and surfaced in the
+#: exporters: (quantile, snapshot key).
+QUANTILE_POINTS: tuple[tuple[float, str], ...] = (
+    (0.5, "p50"), (0.95, "p95"), (0.99, "p99"),
+)
+
+#: Context items: the ambient label assignment (sorted key/value pairs) a
+#: registry stamps onto every child touched while a context is active.
+ContextItems = tuple[tuple[str, str], ...]
+
+_NO_CONTEXT: Callable[[], ContextItems] = lambda: ()
 
 #: Default latency buckets, in seconds (sub-millisecond crypto ops up to
 #: multi-second end-to-end runs).
@@ -68,7 +81,15 @@ def _validate_name(name: str) -> None:
 
 
 class _Metric:
-    """Shared child management for every metric type."""
+    """Shared child management for every metric type.
+
+    A child is keyed by ``(declared label values, ambient context items)``.
+    The context half comes from the owning registry's active
+    :meth:`MetricsRegistry.context_labels` block (e.g. ``session_id`` while
+    a :class:`~repro.core.lifecycle.WorkloadSession` runs); it is empty for
+    metrics used outside any context, which keeps the historical behavior —
+    and the historical cost — for every existing call site.
+    """
 
     metric_type = "untyped"
 
@@ -80,22 +101,20 @@ class _Metric:
         self.help = help
         self.labelnames = tuple(labelnames)
         self.max_label_sets = max_label_sets
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[tuple[str, ...], ContextItems],
+                             object] = {}
+        #: Rebound to the owning registry's context accessor on creation.
+        self._context: Callable[[], ContextItems] = _NO_CONTEXT
         if not self.labelnames:
-            # The unlabeled child exists eagerly so `metric.inc()` works.
-            self._children[()] = self._new_child()
+            # The unlabeled no-context child exists eagerly so
+            # `metric.inc()` works (and stays a plain dict hit).
+            self._children[((), ())] = self._new_child()
 
     def _new_child(self):
         raise NotImplementedError
 
-    def labels(self, **labels: object):
-        """The child for one label-value assignment (cached)."""
-        if set(labels) != set(self.labelnames):
-            raise TelemetryError(
-                f"metric {self.name!r} takes labels {self.labelnames}, "
-                f"got {tuple(labels)}"
-            )
-        key = tuple(str(labels[name]) for name in self.labelnames)
+    def _resolve(self, declared: tuple[str, ...]):
+        key = (declared, self._context())
         child = self._children.get(key)
         if child is None:
             if len(self._children) >= self.max_label_sets:
@@ -108,17 +127,54 @@ class _Metric:
             self._children[key] = child
         return child
 
+    def labels(self, **labels: object):
+        """The child for one label-value assignment (cached)."""
+        if set(labels) != set(self.labelnames):
+            raise TelemetryError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return self._resolve(
+            tuple(str(labels[name]) for name in self.labelnames)
+        )
+
     def _default_child(self):
         if self.labelnames:
             raise TelemetryError(
                 f"metric {self.name!r} is labeled {self.labelnames}; "
                 "call .labels(...) first"
             )
-        return self._children[()]
+        return self._resolve(())
+
+    def _declared_values(self, labels: Mapping[str, object]
+                         ) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise TelemetryError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _values_matching(self, declared: tuple[str, ...]) -> list:
+        return [child for (key, _ctx), child in self._children.items()
+                if key == declared]
 
     def children(self) -> Iterator[tuple[dict[str, str], object]]:
-        for key, child in self._children.items():
-            yield dict(zip(self.labelnames, key)), child
+        """Yield ``(merged labels, child)`` — context keys appended."""
+        for (declared, context), child in self._children.items():
+            labels = dict(zip(self.labelnames, declared))
+            for key, value in context:
+                labels.setdefault(key, value)
+            yield labels, child
+
+    def children_split(self) -> Iterator[tuple[dict[str, str],
+                                               dict[str, str], object]]:
+        """Yield ``(declared labels, context labels, child)`` separately
+        (the snapshot shape, so :meth:`MetricsRegistry.from_snapshot` can
+        rebuild the exact child keys)."""
+        for (declared, context), child in self._children.items():
+            yield (dict(zip(self.labelnames, declared)), dict(context),
+                   child)
 
     def reset(self) -> None:
         """Zero every child's value; children themselves stay alive."""
@@ -153,8 +209,14 @@ class Counter(_Metric):
         self._default_child().inc(amount)
 
     def value(self, **labels: object) -> float:
-        child = self.labels(**labels) if labels else self._default_child()
-        return child.value
+        """Current value for one declared label set, summed across every
+        ambient context it was updated under (so a query outside a session
+        sees work done inside one)."""
+        if self.labelnames and not labels:
+            self._default_child()  # raises the "call .labels(...)" error
+        declared = self._declared_values(labels)
+        return sum(child.value
+                   for child in self._values_matching(declared))
 
     def total(self) -> float:
         """Sum over every label set (quick non-zero checks)."""
@@ -202,8 +264,13 @@ class Gauge(_Metric):
         self._default_child().dec(amount)
 
     def value(self, **labels: object) -> float:
-        child = self.labels(**labels) if labels else self._default_child()
-        return child.value
+        """Current value for one declared label set, summed across every
+        ambient context it was updated under."""
+        if self.labelnames and not labels:
+            self._default_child()  # raises the "call .labels(...)" error
+        declared = self._declared_values(labels)
+        return sum(child.value
+                   for child in self._values_matching(declared))
 
     def samples(self) -> list[Sample]:
         return [Sample(labels, child.value)
@@ -233,6 +300,32 @@ class _HistogramChild:
             running += c
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation inside the
+        bucket holding the target rank (Prometheus ``histogram_quantile``
+        semantics: first bucket interpolates from 0, observations landing
+        in the +Inf overflow bucket clamp to the highest finite edge).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile {q!r} must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, in_bucket in enumerate(self.bucket_counts):
+            seen += in_bucket
+            if in_bucket and seen >= rank:
+                if i == len(self._edges):
+                    return self._edges[-1]  # +Inf overflow bucket
+                lo = self._edges[i - 1] if i else 0.0
+                hi = self._edges[i]
+                return lo + (hi - lo) * (rank - (seen - in_bucket)) / in_bucket
+        return self._edges[-1]
+
+    def quantiles(self) -> dict[str, float]:
+        """The standard export points (:data:`QUANTILE_POINTS`)."""
+        return {key: self.quantile(q) for q, key in QUANTILE_POINTS}
 
     def _zero(self) -> None:
         self.bucket_counts = [0] * len(self.bucket_counts)
@@ -280,6 +373,42 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._context_map: dict[str, str] = {}
+        self._context_items: ContextItems = ()
+        # One shared accessor closure; every metric's hot path calls it to
+        # key its child cache, so it must stay a plain attribute read.
+        self._context_accessor: Callable[[], ContextItems] = (
+            lambda: self._context_items
+        )
+
+    # -- ambient context -----------------------------------------------------
+
+    @contextmanager
+    def context_labels(self, **labels: object):
+        """Stamp ambient labels onto every child touched inside the block.
+
+        Used by :meth:`Marketplace.active_session` to split each metric's
+        series per ``session_id`` without threading the id through every
+        instrumented call site.  Blocks nest (inner values shadow outer
+        ones) and restore the previous context on exit.  Readers that
+        query :meth:`Counter.value` outside any context still see the
+        aggregate across contexts.
+        """
+        for name in labels:
+            _validate_name(name)
+        saved_map, saved_items = self._context_map, self._context_items
+        merged = dict(saved_map)
+        merged.update((k, str(v)) for k, v in labels.items())
+        self._context_map = merged
+        self._context_items = tuple(sorted(merged.items()))
+        try:
+            yield
+        finally:
+            self._context_map, self._context_items = saved_map, saved_items
+
+    def context(self) -> dict[str, str]:
+        """The currently active ambient labels (empty outside any block)."""
+        return dict(self._context_map)
 
     # -- creation ------------------------------------------------------------
 
@@ -305,6 +434,7 @@ class MetricsRegistry:
                 )
             return existing
         metric = cls(name, help, **kwargs)
+        metric._context = self._context_accessor
         self._metrics[name] = metric
         return metric
 
@@ -348,8 +478,20 @@ class MetricsRegistry:
 
     # -- snapshot round-trip ---------------------------------------------------
 
+    #: Current snapshot format; readers also accept the pre-context /1
+    #: format still present in committed ``benchmarks/results`` sidecars.
+    SNAPSHOT_FORMAT = "pds2-metrics-snapshot/2"
+    ACCEPTED_SNAPSHOT_FORMATS = ("pds2-metrics-snapshot/1",
+                                 "pds2-metrics-snapshot/2")
+
     def snapshot(self) -> dict:
-        """JSON-serializable dump of every metric and child value."""
+        """JSON-serializable dump of every metric and child value.
+
+        Each sample keeps declared ``labels`` and ambient ``context``
+        separate (``context`` omitted when empty) so a rebuild restores
+        the exact child keys; histogram samples carry interpolated
+        ``quantiles`` alongside the raw buckets.
+        """
         out = []
         for metric in self._metrics.values():
             entry: dict = {
@@ -358,28 +500,43 @@ class MetricsRegistry:
                 "help": metric.help,
                 "labelnames": list(metric.labelnames),
             }
+            samples: list[dict] = []
             if isinstance(metric, Histogram):
                 entry["buckets"] = list(metric.buckets)
-                entry["samples"] = [
-                    {"labels": labels,
-                     "bucket_counts": list(child.bucket_counts),
-                     "sum": child.sum, "count": child.count}
-                    for labels, child in metric.children()
-                ]
+                for declared, context, child in metric.children_split():
+                    sample = {"labels": declared,
+                              "bucket_counts": list(child.bucket_counts),
+                              "sum": child.sum, "count": child.count,
+                              "quantiles": child.quantiles()}
+                    if context:
+                        sample["context"] = context
+                    samples.append(sample)
             else:
-                entry["samples"] = [
-                    {"labels": labels, "value": child.value}
-                    for labels, child in metric.children()
-                ]
+                for declared, context, child in metric.children_split():
+                    sample = {"labels": declared, "value": child.value}
+                    if context:
+                        sample["context"] = context
+                    samples.append(sample)
+            entry["samples"] = samples
             out.append(entry)
-        return {"format": "pds2-metrics-snapshot/1", "metrics": out}
+        return {"format": self.SNAPSHOT_FORMAT, "metrics": out}
 
     @classmethod
     def from_snapshot(cls, snap: Mapping) -> "MetricsRegistry":
-        """Rebuild a registry from :meth:`snapshot` output."""
-        if snap.get("format") != "pds2-metrics-snapshot/1":
+        """Rebuild a registry from :meth:`snapshot` output (either format)."""
+        if snap.get("format") not in cls.ACCEPTED_SNAPSHOT_FORMATS:
             raise TelemetryError("not a pds2 metrics snapshot")
         registry = cls()
+
+        @contextmanager
+        def under_context(sample: Mapping):
+            context = sample.get("context") or {}
+            if context:
+                with registry.context_labels(**context):
+                    yield
+            else:
+                yield
+
         for entry in snap["metrics"]:
             labelnames = tuple(entry.get("labelnames", ()))
             kind = entry.get("type")
@@ -387,15 +544,17 @@ class MetricsRegistry:
                 metric = registry.counter(entry["name"], entry.get("help", ""),
                                           labelnames=labelnames)
                 for sample in entry["samples"]:
-                    child = (metric.labels(**sample["labels"])
-                             if labelnames else metric._default_child())
+                    with under_context(sample):
+                        child = (metric.labels(**sample["labels"])
+                                 if labelnames else metric._default_child())
                     child.value = float(sample["value"])
             elif kind == "gauge":
                 metric = registry.gauge(entry["name"], entry.get("help", ""),
                                         labelnames=labelnames)
                 for sample in entry["samples"]:
-                    child = (metric.labels(**sample["labels"])
-                             if labelnames else metric._default_child())
+                    with under_context(sample):
+                        child = (metric.labels(**sample["labels"])
+                                 if labelnames else metric._default_child())
                     child.value = float(sample["value"])
             elif kind == "histogram":
                 metric = registry.histogram(
@@ -403,7 +562,8 @@ class MetricsRegistry:
                     buckets=entry["buckets"], labelnames=labelnames,
                 )
                 for sample in entry["samples"]:
-                    child = metric.child(**sample["labels"])
+                    with under_context(sample):
+                        child = metric.child(**sample["labels"])
                     child.bucket_counts = [int(c) for c
                                            in sample["bucket_counts"]]
                     child.sum = float(sample["sum"])

@@ -105,6 +105,11 @@ class Tracer:
         #: as ``span.end`` events); None means spans stay in-process only.
         self.on_finish: Optional[Callable[[Span], None]] = None
         self.finished: deque[Span] = deque(maxlen=max_finished)
+        #: Ambient attributes merged under every opened span's own
+        #: attributes (the marketplace sets ``session_id`` here for the
+        #: duration of an active session, so *all* spans — chain, TEE,
+        #: storage — are filterable per session, not just lifecycle ones).
+        self.context: dict[str, Any] = {}
         self._stack: list[Span] = []
         self._ids = itertools.count(1)
 
@@ -131,7 +136,7 @@ class Tracer:
             parent_id=self._stack[-1].span_id if self._stack else "",
             start_wall=time.perf_counter(),
             start_sim=float(self.sim_clock()),
-            attributes=dict(attributes),
+            attributes={**self.context, **attributes},
         )
         self._stack.append(span)
         try:
@@ -156,6 +161,7 @@ class Tracer:
         """Drop finished spans and any dangling stack (test isolation)."""
         self.finished.clear()
         self._stack.clear()
+        self.context.clear()
 
 
 #: The process-wide default tracer every instrumented subsystem uses.

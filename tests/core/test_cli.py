@@ -120,14 +120,24 @@ class TestFaults:
         assert main(["metrics", path + ".metrics.json"]) == 0
         output = capsys.readouterr().out
         samples = dict(parse_prometheus(output))
+
+        def total(name, **wanted):
+            # Sum over label supersets: series are additionally split by
+            # the ambient session_id the run was recorded under.
+            return sum(
+                value for (sample_name, labels), value in samples.items()
+                if sample_name == name
+                and wanted.items() <= dict(labels).items()
+            )
+
         # >= because the process-global registry accumulates across the
         # other fault runs in this test module.
-        assert samples[("pds2_faults_injected_total",
-                        (("kind", "crash_execute"),))] >= 1.0
-        assert samples[("pds2_lifecycle_recovery_total",
-                        (("action", "degrade"),))] >= 1.0
-        assert samples[("pds2_lifecycle_sessions_total",
-                        (("outcome", "degraded"),))] >= 1.0
+        assert total("pds2_faults_injected_total",
+                     kind="crash_execute") >= 1.0
+        assert total("pds2_lifecycle_recovery_total",
+                     action="degrade") >= 1.0
+        assert total("pds2_lifecycle_sessions_total",
+                     outcome="degraded") >= 1.0
 
 
 class TestTrace:
@@ -178,7 +188,7 @@ class TestTelemetryCommands:
 
         with open(trace_path + ".metrics.json", encoding="utf-8") as fh:
             snapshot = json.load(fh)
-        assert snapshot["format"] == "pds2-metrics-snapshot/1"
+        assert snapshot["format"] == "pds2-metrics-snapshot/2"
         names = {metric["name"] for metric in snapshot["metrics"]}
         assert "pds2_chain_blocks_mined_total" in names
         assert "pds2_crypto_sign_total" in names
