@@ -1,0 +1,54 @@
+"""Optional numba JIT shim for the simulation kernels.
+
+The kernels in :mod:`repro.kernels.ops` come in pairs following the
+``engine_jit`` pattern: a loop-form function decorated with :func:`njit`
+(compiled when numba is importable, plain Python otherwise) and a
+``*_py`` numpy fallback kept differentially equivalent by the tests in
+``tests/kernels/``.  Dispatch happens once at import time based on
+:data:`HAS_NUMBA`, so the hot path pays no per-call feature check.
+
+Two rules keep the two paths byte-identical:
+
+* only **integer bookkeeping** kernels (index flattening, slot
+  assignment, prefix sums) are ever JIT-compiled.  Floating-point model
+  math stays in numpy on *both* paths — numba's fastmath/FMA code
+  generation may differ from numpy's in the last ulp, which would break
+  the engine-equivalence contract the gossip kernels promise;
+* integer arithmetic is exact, so the compiled and fallback paths agree
+  bit-for-bit by construction and the differential tests can assert
+  strict equality.
+
+Set ``PDS2_DISABLE_NUMBA=1`` to force the fallback path even when numba
+is installed (used by the CI ``kernels`` job to run the suite both ways).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+__all__ = ["HAS_NUMBA", "njit"]
+
+
+def _identity_njit(*args: Any, **kwargs: Any) -> Callable:
+    """A no-op stand-in for ``numba.njit`` (bare and parametrized forms)."""
+    if len(args) == 1 and callable(args[0]) and not kwargs:
+        return args[0]
+
+    def decorate(fn: Callable) -> Callable:
+        return fn
+
+    return decorate
+
+
+if os.environ.get("PDS2_DISABLE_NUMBA"):
+    HAS_NUMBA = False
+    njit = _identity_njit
+else:
+    try:
+        from numba import njit  # type: ignore[no-redef]
+
+        HAS_NUMBA = True
+    except ImportError:
+        HAS_NUMBA = False
+        njit = _identity_njit

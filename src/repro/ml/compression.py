@@ -23,7 +23,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MLError, ModelCompatibilityError
-from repro.ml.merge import MergeStrategy, TrackedModel, merge_parameter_vectors
+from repro.kernels.ops import (
+    convex_combine_rows,
+    dequantize_rows,
+    quantize_rows,
+)
+from repro.ml.merge import MergeStrategy, TrackedModel
 
 
 class CompressionKind(enum.Enum):
@@ -104,18 +109,13 @@ def compress(params: np.ndarray, age: int, samples: int,
             samples=samples, indices=indices,
             values=params[indices].copy(),
         )
-    # Uniform quantization over the parameter range.
-    low = float(params.min())
-    high = float(params.max())
-    levels = (1 << config.quantize_bits) - 1
-    if high == low:
-        codes = np.zeros(len(params), dtype=np.int64)
-    else:
-        normalized = (params - low) / (high - low)
-        codes = np.round(normalized * levels).astype(np.int64)
+    # Uniform quantization over the parameter range.  Routed through the
+    # shared row kernel so the vectorized gossip engine (which quantizes a
+    # whole round of messages at once) is bit-identical by construction.
+    codes, low, high = quantize_rows(params[None, :], config.quantize_bits)
     return CompressedUpdate(
         kind=config.kind, num_params=len(params), age=age, samples=samples,
-        codes=codes, scale_min=low, scale_max=high,
+        codes=codes[0], scale_min=float(low[0]), scale_max=float(high[0]),
         quantize_bits=config.quantize_bits,
     )
 
@@ -125,11 +125,12 @@ def decompress_dense(update: CompressedUpdate) -> np.ndarray:
     if update.kind is CompressionKind.NONE:
         return update.values.copy()
     if update.kind is CompressionKind.QUANTIZE:
-        levels = (1 << update.quantize_bits) - 1
-        span = update.scale_max - update.scale_min
-        if span == 0:
-            return np.full(update.num_params, update.scale_min)
-        return update.scale_min + update.codes / levels * span
+        return dequantize_rows(
+            update.codes[None, :],
+            np.asarray([update.scale_min]),
+            np.asarray([update.scale_max]),
+            update.quantize_bits,
+        )[0]
     raise MLError("subsampled updates have no dense reconstruction; "
                   "merge them with merge_compressed_into")
 
@@ -148,8 +149,10 @@ def merge_compressed_into(local: TrackedModel, update: CompressedUpdate,
     if update.kind in (CompressionKind.NONE, CompressionKind.QUANTIZE):
         remote = decompress_dense(update)
         weights = _strategy_weights(local, update, strategy)
-        merged = merge_parameter_vectors([local.model.params, remote],
-                                         weights)
+        # Elementwise pairwise combine shared with the kernel engine (see
+        # repro.kernels.ops for why this form, not a dgemv, is used).
+        merged = convex_combine_rows(local.model.params, remote,
+                                     weights[0], weights[1])
         local.model.set_params(merged)
     else:
         params = local.model.params

@@ -1,15 +1,43 @@
 """Gossip learning (paper Section III-C, the selected aggregation method).
 
-Implements the Ormándi-style protocol: every node periodically wakes, trains
-its model on local data, and pushes the parameters to a random overlay
-neighbor; on receipt, a node merges the incoming model with its own and takes
-a local gradient step.  There is no coordinator, no global round, and no
+Implements the Ormándi-style protocol: every node periodically wakes, merges
+the models that arrived in its mailbox, trains on local data, and pushes the
+parameters to a random overlay neighbor.  There is no coordinator, no global
 barrier — the properties the paper values for PDS2 (no bottleneck, no
 aggregation black box, churn tolerance).
 
-:class:`GossipTrainer` wires nodes onto the discrete-event network, runs the
-protocol for simulated time, and records an accuracy-versus-time history
-plus full traffic accounting.
+Two engines implement the identical protocol, selected via
+``GossipConfig(engine=...)``:
+
+* ``"objects"`` — one :class:`GossipNode` per participant on the
+  discrete-event :class:`~repro.net.simulator.Network` (this module);
+* ``"kernel"``  — flat-array round kernels over the whole population
+  (:class:`repro.kernels.gossip_kernel.GossipKernelTrainer`), byte-identical
+  to the object engine at matched seeds and ≥10× faster at hundreds of
+  nodes.
+
+Determinism discipline (shared by both engines, enforced by
+``tests/kernels``):
+
+* **mailbox semantics** — received models are queued and merged at the
+  receiver's next wake, not on receipt; a message sent from its sender's
+  wake ``k`` is only mergeable at a receiver wake with index ``> k`` *and*
+  time after its delivery.  This removes intra-round cross-node data
+  dependencies, which is what lets the kernel engine compute a whole round
+  as stacked matrix ops;
+* **single-draw streams** — each online wake consumes exactly one
+  ``rng.random(D)`` vector (``D = (merges + local_steps) * take +
+  push_count``) covering minibatch indices (floor-sampled with
+  replacement) and peer picks, plus one ``rng.normal`` block when DP noise
+  is on.  Both engines issue the same calls at the same stream positions;
+* wake timelines, link latencies, churn toggles, and evaluation sampling
+  all come from shared helpers (:mod:`repro.kernels.ops`,
+  :func:`repro.net.topology.edge_latencies`,
+  :meth:`repro.net.churn.ChurnModel.precompute_timeline`).
+
+:class:`GossipTrainer` wires either engine, runs the protocol for simulated
+time, and records an accuracy-versus-time history plus full traffic
+accounting.
 """
 
 from __future__ import annotations
@@ -20,6 +48,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import MLError
+from repro.kernels.ops import (
+    clamped_floor_indices,
+    family_of,
+    sample_eval_indices,
+    wake_schedule,
+)
 from repro.ml.compression import (
     CompressedUpdate,
     CompressionConfig,
@@ -27,7 +61,7 @@ from repro.ml.compression import (
     merge_compressed_into,
 )
 from repro.ml.datasets import Dataset
-from repro.ml.merge import MergeStrategy, TrackedModel, merge_into
+from repro.ml.merge import MergeStrategy, TrackedModel
 from repro.ml.models import Model
 from repro.net.churn import ChurnModel
 from repro.net.simulator import Network, Simulator
@@ -44,11 +78,14 @@ from repro.utils.rng import derive_rng
 #: Fixed per-message envelope overhead (headers, age, sample count).
 MESSAGE_OVERHEAD_BYTES = 64
 
+#: Engines selectable via :attr:`GossipConfig.engine`.
+ENGINES = ("objects", "kernel")
+
 _WAKES = _tm.counter(
     "pds2_gossip_wakes_total", "Gossip node wake cycles that ran"
 )
 _MERGES = _tm.counter(
-    "pds2_gossip_merges_total", "Model merges performed on message receipt"
+    "pds2_gossip_merges_total", "Model merges performed at wake time"
 )
 _PUSH_BYTES = _tm.histogram(
     "pds2_gossip_push_bytes", "Serialized size of pushed model messages",
@@ -71,6 +108,7 @@ class GossipConfig:
         default_factory=CompressionConfig
     )
     dp_noise_std: float = 0.0  # Gaussian noise on every *shared* model
+    engine: str = "objects"    # "objects" | "kernel"
 
     def __post_init__(self) -> None:
         if self.wake_interval_s <= 0:
@@ -79,11 +117,13 @@ class GossipConfig:
             raise MLError("local steps and push count must be >= 1")
         if self.dp_noise_std < 0:
             raise MLError("dp noise std must be non-negative")
+        if self.engine not in ENGINES:
+            raise MLError(f"engine must be one of {ENGINES}")
 
 
 @dataclass
 class ModelMessage:
-    """The gossip payload: a parameter vector plus merge metadata."""
+    """An uncompressed gossip payload (kept for API compatibility)."""
 
     params: np.ndarray
     age: int
@@ -92,6 +132,21 @@ class ModelMessage:
     @property
     def size_bytes(self) -> int:
         return self.params.nbytes + MESSAGE_OVERHEAD_BYTES
+
+
+class GossipEnvelope:
+    """A wire message: the compressed update plus its sender's wake index.
+
+    The wake index implements the round-tag eligibility rule (see module
+    docstring): receivers only merge envelopes whose ``sender_round`` is
+    strictly less than their own current wake index.
+    """
+
+    __slots__ = ("update", "sender_round")
+
+    def __init__(self, update: CompressedUpdate, sender_round: int) -> None:
+        self.update = update
+        self.sender_round = sender_round
 
 
 class GossipNode:
@@ -111,79 +166,111 @@ class GossipNode:
         self.rng = rng
         self.merges_performed = 0
         self.wakes = 0
+        #: (delivery_time, envelope) pairs in delivery order.
+        self.mailbox: list[tuple[float, GossipEnvelope]] = []
+        self.family = family_of(model)
+        self._features = np.asarray(data.features, dtype=float)
+        self._targets = (np.asarray(data.targets, dtype=np.int64)
+                         if self.family is not None
+                         else np.asarray(data.targets))
+        self._take = min(config.batch_size, len(data))
+        self._limits = np.full(self._take, len(data), dtype=np.int64)
 
     # -- protocol --------------------------------------------------------------
 
-    def start(self) -> None:
-        """Schedule the first wake with a random phase (desynchronization)."""
-        first = float(self.rng.uniform(0, self.config.wake_interval_s))
-        self.simulator.schedule(first, self._wake)
+    def on_message(self, sender: str, message: GossipEnvelope) -> None:
+        """Queue the delivered model for the next wake (mailbox semantics)."""
+        self.mailbox.append((self.simulator.now, message))
 
-    def _wake(self) -> None:
-        self.simulator.schedule(self.config.wake_interval_s, self._wake)
+    @profiled_function("gossip.wake")
+    def on_wake(self, wake_index: int) -> None:
+        """One wake cycle: merge eligible mail, train locally, push."""
         if not self.network.is_online(self.address):
-            return
+            return  # consumes no randomness; mailbox is kept for later
+        now = self.simulator.now
         self.wakes += 1
         _WAKES.inc()
-        self._train_local()
-        for _ in range(self.config.push_count):
-            if not self.peers:
-                break
-            peer = self.peers[int(self.rng.integers(0, len(self.peers)))]
+        config = self.config
+        eligible: list[GossipEnvelope] = []
+        if self.mailbox:
+            keep = []
+            for entry in self.mailbox:
+                if (entry[0] < now
+                        and entry[1].sender_round < wake_index):
+                    eligible.append(entry[1])
+                else:
+                    keep.append(entry)
+            self.mailbox = keep
+        take = self._take
+        # The single per-wake uniform draw: batch indices for every merge
+        # correction and local step, then one peer pick per push.
+        draws = self.rng.random(
+            (len(eligible) + config.local_steps) * take + config.push_count
+        )
+        cursor = 0
+        for envelope in eligible:
+            merge_compressed_into(self.tracked, envelope.update,
+                                  config.merge_strategy)
+            self.merges_performed += 1
+            _MERGES.inc()
+            if take:
+                cursor = self._sgd_step(draws, cursor)
+                self.tracked.age += 1
+        if take:
+            for _ in range(config.local_steps):
+                cursor = self._sgd_step(draws, cursor)
+            self.tracked.age += config.local_steps
+        noise = None
+        if config.dp_noise_std > 0:
+            # Local DP: only a noised view of the model ever leaves the
+            # node, bounding what any recipient learns about local data.
+            noise = self.rng.normal(
+                0.0, config.dp_noise_std,
+                (config.push_count, self.tracked.model.num_params),
+            )
+        degree = len(self.peers)
+        for push in range(config.push_count):
+            pick = draws[cursor]
+            cursor += 1
+            if not degree:
+                continue
+            peer_index = int(pick * degree)
+            if peer_index >= degree:
+                peer_index = degree - 1
+            peer = self.peers[peer_index]
             shared_params = self.tracked.model.params
-            if self.config.dp_noise_std > 0:
-                # Local DP: only a noised view of the model ever leaves the
-                # node, bounding what any recipient learns about local data.
-                shared_params = shared_params + self.rng.normal(
-                    0.0, self.config.dp_noise_std, shared_params.shape
-                )
-            message = compress(
+            if noise is not None:
+                shared_params = shared_params + noise[push]
+            update = compress(
                 shared_params,
                 age=self.tracked.age,
                 samples=self.tracked.samples,
-                config=self.config.compression,
+                config=config.compression,
                 rng=self.rng,
             )
-            _PUSH_BYTES.observe(message.size_bytes)
-            self.network.send(self.address, peer, message,
-                              message.size_bytes)
+            _PUSH_BYTES.observe(update.size_bytes)
+            self.network.send(self.address, peer,
+                              GossipEnvelope(update, wake_index),
+                              update.size_bytes)
 
-    def _train_local(self) -> None:
-        self.tracked.model.train_steps(
-            self.data.features, self.data.targets,
-            steps=self.config.local_steps,
-            learning_rate=self.config.learning_rate,
-            batch_size=self.config.batch_size,
-            rng=self.rng,
-        )
-        self.tracked.age += self.config.local_steps
-
-    @profiled_function("gossip.merge")
-    def on_message(self, sender: str,
-                   message: "CompressedUpdate | ModelMessage") -> None:
-        """Merge the incoming model, then take one local correction step."""
-        if isinstance(message, CompressedUpdate):
-            merge_compressed_into(self.tracked, message,
-                                  self.config.merge_strategy)
+    def _sgd_step(self, draws: np.ndarray, cursor: int) -> int:
+        """One minibatch step from the pre-drawn uniform vector."""
+        take = self._take
+        index = clamped_floor_indices(draws[cursor:cursor + take],
+                                      self._limits)
+        batch_x = self._features[index]
+        batch_y = self._targets[index]
+        if self.family is not None:
+            # The shared stacked kernel with G == 1: bit-identical to the
+            # kernel engine's whole-population call.
+            params = self.tracked.model.params_buffer()[None, :]
+            self.family.sgd_step(params, batch_x[None, :, :],
+                                 batch_y[None, :],
+                                 self.config.learning_rate)
         else:
-            merge_into(
-                self.tracked,
-                remote_params=message.params,
-                remote_age=message.age,
-                remote_samples=message.samples,
-                strategy=self.config.merge_strategy,
-            )
-        self.merges_performed += 1
-        _MERGES.inc()
-        if len(self.data):
-            self.tracked.model.train_steps(
-                self.data.features, self.data.targets,
-                steps=1,
-                learning_rate=self.config.learning_rate,
-                batch_size=self.config.batch_size,
-                rng=self.rng,
-            )
-            self.tracked.age += 1
+            self.tracked.model.sgd_step(batch_x, batch_y,
+                                        self.config.learning_rate)
+        return cursor + take
 
 
 @dataclass
@@ -198,10 +285,19 @@ class GossipResult:
     messages_dropped: int
     max_node_bytes: int                          # heaviest single node load
     per_node_scores: list[float] = field(default_factory=list)
+    events_processed: int = 0                    # simulator events that ran
+    wakes: int = 0                               # online wake cycles
+    merges: int = 0                              # models merged at wakes
 
 
 class GossipTrainer:
-    """Builds and runs a full gossip-learning deployment."""
+    """Builds and runs a full gossip-learning deployment.
+
+    ``config.engine`` selects the implementation: ``"objects"`` builds one
+    :class:`GossipNode` per participant on the event-driven network;
+    ``"kernel"`` delegates to the flat-array
+    :class:`~repro.kernels.gossip_kernel.GossipKernelTrainer`.
+    """
 
     def __init__(self, model_factory: Callable[[], Model],
                  partitions: list[Dataset], test_set: Dataset,
@@ -221,6 +317,21 @@ class GossipTrainer:
                 raise MLError("need one uplink rate per provider")
         self.config = config if config is not None else GossipConfig()
         self.test_set = test_set
+        self.seed = seed
+        self._kernel = None
+        if self.config.engine == "kernel":
+            # Local import: the kernel module imports this one for the
+            # config/result types, so the dependency must stay one-way at
+            # import time.
+            from repro.kernels.gossip_kernel import GossipKernelTrainer
+
+            self._kernel = GossipKernelTrainer(
+                model_factory, partitions, test_set, self.config,
+                seed=seed, churn=churn, mean_latency_s=mean_latency_s,
+                uplinks=uplinks,
+            )
+            self.family = self._kernel.family
+            return
         self.simulator = Simulator()
         self.network = Network(self.simulator,
                                default_latency_s=mean_latency_s)
@@ -253,6 +364,12 @@ class GossipTrainer:
             churn.install(self.simulator, self.network,
                           [node.address for node in self.nodes],
                           derive_rng(seed, "gossip-churn"))
+        self.family = self.nodes[0].family
+        self._test_features = np.asarray(test_set.features, dtype=float)
+        self._test_targets = (
+            np.asarray(test_set.targets, dtype=np.int64)
+            if self.family is not None else np.asarray(test_set.targets)
+        )
 
     @staticmethod
     def _address_of(index: int) -> str:
@@ -260,20 +377,52 @@ class GossipTrainer:
 
     # -- evaluation ---------------------------------------------------------------
 
+    def _node_scores(self, indices: np.ndarray) -> np.ndarray:
+        """Test scores for the given node indices, one stacked matmul when
+        the model family supports it."""
+        if self.family is not None:
+            params = np.stack([
+                self.nodes[i].tracked.model.params_buffer()
+                for i in indices
+            ])
+            return self.family.scores(params, self._test_features,
+                                      self._test_targets)
+        return np.asarray([
+            self.nodes[i].tracked.model.score(self.test_set.features,
+                                              self.test_set.targets)
+            for i in indices
+        ])
+
     def mean_score(self, sample_nodes: int = 16) -> float:
-        """Mean test score over (up to) ``sample_nodes`` evenly-spaced nodes."""
-        step = max(1, len(self.nodes) // sample_nodes)
-        chosen = self.nodes[::step][:sample_nodes]
-        scores = [
-            node.tracked.model.score(self.test_set.features,
-                                     self.test_set.targets)
-            for node in chosen
-        ]
-        return float(np.mean(scores))
+        """Mean test score over a seeded sample of ``sample_nodes`` nodes.
+
+        Sampling is deterministic via ``derive_rng(seed, "gossip-eval")``,
+        shared with the kernel engine so accuracy histories match.
+        """
+        if self._kernel is not None:
+            return self._kernel.mean_score(sample_nodes)
+        indices = sample_eval_indices(self.seed, len(self.nodes),
+                                      sample_nodes)
+        return float(np.mean(self._node_scores(indices)))
+
+    def final_params(self) -> np.ndarray:
+        """The ``(nodes, params)`` parameter matrix (differential testing)."""
+        if self._kernel is not None:
+            return self._kernel.final_params()
+        return np.stack([node.tracked.model.params for node in self.nodes])
+
+    def final_ages(self) -> np.ndarray:
+        """Per-node model ages (differential testing)."""
+        if self._kernel is not None:
+            return self._kernel.final_ages()
+        return np.asarray([node.tracked.age for node in self.nodes],
+                          dtype=np.int64)
 
     def run(self, duration_s: float,
             eval_interval_s: float = 50.0) -> GossipResult:
         """Run the protocol for ``duration_s`` of simulated time."""
+        if self._kernel is not None:
+            return self._kernel.run(duration_s, eval_interval_s)
         tracer = _tracer()
         saved_clock = tracer.sim_clock
         # Gossip runs on the discrete-event simulator's clock, not the
@@ -284,7 +433,18 @@ class GossipTrainer:
             with tracer.span("gossip.run", nodes=len(self.nodes),
                              duration_s=duration_s) as root:
                 for node in self.nodes:
-                    node.start()
+                    # First draw on each node stream: the random wake phase
+                    # (desynchronization).  The whole timeline goes into one
+                    # simulator lane so wake times are the exact
+                    # ``first + k*interval`` floats the kernel engine uses.
+                    first = float(node.rng.uniform(
+                        0, self.config.wake_interval_s
+                    ))
+                    times = wake_schedule(
+                        first, self.config.wake_interval_s, duration_s
+                    )
+                    if len(times):
+                        self.simulator.schedule_batch(times, node.on_wake)
                 history: list[tuple[float, float]] = []
                 checkpoints = np.arange(eval_interval_s, duration_s + 1e-9,
                                         eval_interval_s)
@@ -301,11 +461,7 @@ class GossipTrainer:
                 root.set_attribute("bytes", self.network.stats.bytes_delivered)
         finally:
             tracer.sim_clock = saved_clock
-        per_node = [
-            node.tracked.model.score(self.test_set.features,
-                                     self.test_set.targets)
-            for node in self.nodes
-        ]
+        per_node = self._node_scores(np.arange(len(self.nodes)))
         online_scores = [
             score for node, score in zip(self.nodes, per_node)
             if self.network.is_online(node.address)
@@ -326,5 +482,8 @@ class GossipTrainer:
             messages_delivered=self.network.stats.messages_delivered,
             messages_dropped=self.network.stats.messages_dropped,
             max_node_bytes=max_node_bytes,
-            per_node_scores=per_node,
+            per_node_scores=[float(score) for score in per_node],
+            events_processed=self.simulator.events_processed,
+            wakes=sum(node.wakes for node in self.nodes),
+            merges=sum(node.merges_performed for node in self.nodes),
         )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MLError, ModelCompatibilityError
+from repro.kernels.ops import convex_combine_rows
 from repro.ml.models import Model
 
 
@@ -73,8 +74,11 @@ def merge_into(local: TrackedModel, remote_params: np.ndarray,
         weights = [float(max(1, local.age)), float(max(1, remote_age))]
     else:  # pragma: no cover - exhaustive enum
         raise MLError(f"unknown merge strategy {strategy}")
-    merged = merge_parameter_vectors(
-        [local.model.params, remote_params], weights
+    # Elementwise pairwise combine (shared with the vectorized kernel
+    # engine) rather than merge_parameter_vectors' dgemv: the elementwise
+    # form is what stays bit-identical under row stacking.
+    merged = convex_combine_rows(
+        local.model.params, remote_params, weights[0], weights[1]
     )
     local.model.set_params(merged)
     local.age = max(local.age, remote_age)

@@ -51,23 +51,39 @@ def full_mesh(num_nodes: int) -> nx.Graph:
     return nx.complete_graph(num_nodes)
 
 
+def edge_latencies(graph: nx.Graph, rng: np.random.Generator,
+                   mean_latency_s: float = 0.05,
+                   jitter: float = 0.5) -> dict[tuple[int, int], float]:
+    """Draw one symmetric latency per edge of ``graph``.
+
+    Latencies are lognormal around ``mean_latency_s`` with relative spread
+    ``jitter``.  Draw order follows ``graph.edges`` iteration, which is
+    deterministic for a deterministically built graph — the object engine
+    and the vectorized kernel engine both consume this exact stream, which
+    is what keeps their simulations byte-identical.
+    """
+    if jitter < 0:
+        raise SimulationError("jitter must be non-negative")
+    sigma = jitter
+    return {
+        (u, v): float(mean_latency_s * rng.lognormal(mean=0.0, sigma=sigma))
+        for u, v in graph.edges
+    }
+
+
 def assign_latencies(network: Network, graph: nx.Graph,
                      address_of, rng: np.random.Generator,
                      mean_latency_s: float = 0.05,
                      jitter: float = 0.5) -> None:
     """Draw a symmetric latency for every edge of ``graph``.
 
-    Latencies are lognormal around ``mean_latency_s`` with relative spread
-    ``jitter``; the same value is set in both directions.  ``address_of``
-    maps graph node ids to network addresses.
+    The same value is set in both directions.  ``address_of`` maps graph
+    node ids to network addresses.  Draws delegate to
+    :func:`edge_latencies` so both gossip engines see identical links.
     """
-    if jitter < 0:
-        raise SimulationError("jitter must be non-negative")
-    sigma = jitter
-    for u, v in graph.edges:
-        latency = float(
-            mean_latency_s * rng.lognormal(mean=0.0, sigma=sigma)
-        )
+    for (u, v), latency in edge_latencies(
+        graph, rng, mean_latency_s=mean_latency_s, jitter=jitter
+    ).items():
         network.set_link(address_of(u), address_of(v), latency)
         network.set_link(address_of(v), address_of(u), latency)
 

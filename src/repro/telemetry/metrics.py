@@ -293,6 +293,20 @@ class _HistogramChild:
         self.sum += value
         self.count += 1
 
+    def observe_repeated(self, value: float, times: int) -> None:
+        """Record ``value`` observed ``times`` times in one update.
+
+        The aggregate path for vectorized kernels, which charge a whole
+        round of identical-size messages at once instead of per message.
+        """
+        if times < 0:
+            raise TelemetryError("observation count must be non-negative")
+        if times == 0:
+            return
+        self.bucket_counts[bisect_left(self._edges, value)] += times
+        self.sum += value * times
+        self.count += times
+
     def cumulative_counts(self) -> list[int]:
         """Counts as Prometheus exports them: cumulative including +Inf."""
         out, running = [], 0
@@ -356,6 +370,9 @@ class Histogram(_Metric):
 
     def observe(self, value: float) -> None:
         self._default_child().observe(value)
+
+    def observe_repeated(self, value: float, times: int) -> None:
+        self._default_child().observe_repeated(value, times)
 
     def child(self, **labels: object) -> _HistogramChild:
         return (self.labels(**labels) if labels

@@ -254,3 +254,41 @@ class TestTelemetryCommands:
         path.write_text(json.dumps(record) + "\n")
         assert main(["spans", str(path)]) == 1
         assert "no finished spans" in capsys.readouterr().err
+
+
+class TestGossipCommand:
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["gossip", "--nodes", "16", "--engine", "kernel"])
+        assert callable(args.handler)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gossip", "--engine", "warp"])
+
+    def test_engines_agree_byte_for_byte(self, capsys):
+        """The CLI path exercises the kernel contract end to end."""
+        import json
+
+        payloads = []
+        for engine in ("kernel", "objects"):
+            code = main(["gossip", "--nodes", "12", "--per-node", "16",
+                         "--duration", "100", "--eval-interval", "50",
+                         "--engine", engine, "--seed", "5", "--json"])
+            assert code == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        kernel, objects = payloads
+        assert kernel["history"] == objects["history"]
+        assert kernel["final_accuracy"] == objects["final_accuracy"]
+        assert kernel["events_processed"] == objects["events_processed"]
+        assert kernel["bytes_delivered"] == objects["bytes_delivered"]
+
+    def test_churn_flag_drops_messages(self, capsys):
+        import json
+
+        code = main(["gossip", "--nodes", "12", "--per-node", "16",
+                     "--duration", "200", "--eval-interval", "100",
+                     "--availability", "0.6", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages_dropped"] > 0

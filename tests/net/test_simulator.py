@@ -162,3 +162,139 @@ class TestNetwork:
         sim, network, _ = net
         with pytest.raises(SimulationError):
             network.send("a", "ghost", "x", size_bytes=0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_cancellable(1.0, lambda: fired.append(1))
+        assert handle.cancel()
+        sim.run_until(10.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancel_after_firing_fails(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        sim.run_until(10.0)
+        assert not handle.cancel()
+
+    def test_cancelled_events_skip_processed_count(self):
+        sim = Simulator()
+        sim.schedule_cancellable(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_processed == 1
+
+    def test_cancelled_events_skip_completion_budget(self):
+        """A swarm of cancelled entries must not trip the event budget."""
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule_cancellable(1.0, lambda: None).cancel()
+        ran = []
+        sim.schedule(2.0, lambda: ran.append(1))
+        sim.schedule(3.0, lambda: ran.append(2))
+        sim.run_to_completion(max_events=2)
+        assert ran == [1, 2]
+
+    def test_cancellable_rejects_bad_delays(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_cancellable(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_cancellable(float("nan"), lambda: None)
+
+
+class TestScheduleBatch:
+    def test_lane_fires_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch([1.0, 2.0, 3.0], seen.append)
+        sim.run_until(10.0)
+        assert seen == [0, 1, 2]
+        assert sim.events_processed == 3
+
+    def test_lane_interleaves_with_scheduled_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch([1.0, 3.0], lambda i: order.append(f"lane{i}"))
+        sim.schedule(2.0, lambda: order.append("solo"))
+        sim.run_until(10.0)
+        assert order == ["lane0", "solo", "lane1"]
+
+    def test_lane_registered_first_wins_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch([1.0], lambda i: order.append("lane"))
+        sim.schedule(1.0, lambda: order.append("solo"))
+        sim.run_until(10.0)
+        assert order == ["lane", "solo"]
+
+    def test_lane_occupies_one_heap_slot(self):
+        sim = Simulator()
+        sim.schedule_batch([float(t) for t in range(1, 1001)], lambda i: None)
+        assert len(sim._heap) == 1
+        assert sim.pending_events == 1000
+        sim.run_until(2000.0)
+        assert sim.pending_events == 0
+        assert sim.heap_high_water == 1
+
+    def test_partial_run_leaves_lane_resumable(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch([1.0, 2.0, 3.0], seen.append)
+        sim.run_until(1.5)
+        assert seen == [0]
+        assert sim.pending_events == 2
+        sim.run_until(10.0)
+        assert seen == [0, 1, 2]
+
+    def test_empty_batch_is_noop(self):
+        sim = Simulator()
+        sim.schedule_batch([], lambda i: None)
+        assert sim.pending_events == 0
+
+    def test_decreasing_times_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([2.0, 1.0], lambda i: None)
+
+    def test_past_times_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([1.0, 2.0], lambda i: None)
+
+    def test_non_finite_times_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([1.0, float("inf")], lambda i: None)
+
+
+class TestTelemetryGauges:
+    def test_heap_high_water_tracks_peak(self):
+        sim = Simulator()
+        for t in range(1, 6):
+            sim.schedule(float(t), lambda: None)
+        sim.run_until(10.0)
+        assert sim.heap_high_water == 5
+
+    def test_gauges_exported_after_run(self):
+        from repro.telemetry.metrics import REGISTRY
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(10.0)
+        events = REGISTRY.get("pds2_sim_events_processed")
+        heap = REGISTRY.get("pds2_sim_heap_high_water")
+        assert events is not None and heap is not None
+        assert events.samples()[0].value >= 1
+        assert heap.samples()[0].value >= 1
