@@ -735,6 +735,100 @@ def _cmd_profile(args: argparse.Namespace, out: OutputWriter) -> int:
     return 0
 
 
+def _batch_status_lines(out: OutputWriter, index: dict,
+                        manifest: dict | None) -> None:
+    batch = index.get("batch", {})
+    out.line(f"batch status: {batch.get('status', 'pending')}")
+    counts = index.get("counts", {})
+    for outcome in sorted(counts):
+        out.line(f"  {outcome:>18}: {counts[outcome]}")
+    if index.get("divergent"):
+        out.line(f"  DIVERGENT checkpoints: {len(index['divergent'])}")
+    if manifest:
+        out.line(f"manifest: {manifest.get('status')} "
+                 f"({manifest.get('jobs')} jobs, "
+                 f"{manifest.get('worker_deaths')} worker deaths, "
+                 f"{manifest.get('requeues')} requeues, "
+                 f"{manifest.get('wall_s', 0.0):.1f}s)")
+        out.line(f"batch digest: {manifest.get('batch_digest', '')}")
+
+
+def _batch_run(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro.control import TERMINAL_BATCH_STATES, JobsDB, batch_execute
+
+    last = [-1]
+
+    def progress(done: int, total: int) -> None:
+        # One line every ~5% keeps 10k-job sweeps readable.
+        step = max(1, total // 20)
+        if done == total or done // step > last[0]:
+            last[0] = done // step
+            out.line(f"  {done}/{total} jobs settled")
+
+    report = batch_execute(
+        args.root, workers=args.workers,
+        max_attempts=args.max_attempts,
+        kill_after=tuple(args.kill_worker_after or ()),
+        progress=progress,
+    )
+    db = JobsDB.open(args.root)
+    _batch_status_lines(out, db.load_index(), db.read_manifest())
+    db.close()
+    out.set("status", report.status)
+    out.set("counts", report.counts)
+    out.set("batch_digest", report.batch_digest)
+    out.set("worker_deaths", report.worker_deaths)
+    out.set("requeues", report.requeues)
+    out.set("manifest", report.manifest_path)
+    ok = report.status in TERMINAL_BATCH_STATES and report.status != "failed"
+    return 0 if ok else 1
+
+
+def _cmd_batch(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro.control import JobSpec, JobsDB, submit_batch
+
+    if args.batch_command == "submit":
+        specs = []
+        for index in range(args.jobs):
+            faulted = (args.fault_rate > 0
+                       and index % max(1, args.fault_every) == 0)
+            specs.append(JobSpec(
+                job_id=f"job-{index:05d}",
+                seed=args.seed + index,
+                workload=args.workload,
+                fault_rate=args.fault_rate if faulted else 0.0,
+            ))
+        submit_batch(args.root, specs)
+        out.line(f"submitted {len(specs)} jobs to {args.root}")
+        out.set("root", args.root)
+        out.set("jobs", len(specs))
+        if args.no_execute:
+            out.line(f"execute with: python -m repro batch resume "
+                     f"{args.root}")
+            return 0
+        return _batch_run(args, out)
+    if args.batch_command == "resume":
+        return _batch_run(args, out)
+    if args.batch_command == "status":
+        db = JobsDB.open(args.root)
+        _batch_status_lines(out, db.load_index(), db.read_manifest())
+        index = db.load_index()
+        out.set("batch", index.get("batch", {}))
+        out.set("counts", index.get("counts", {}))
+        out.set("divergent", index.get("divergent", []))
+        db.close()
+        return 0
+    if args.batch_command == "kill":
+        db = JobsDB.open(args.root)
+        db.request_kill("cli")
+        db.close()
+        out.line(f"kill requested for {args.root} (the running coordinator "
+                 f"aborts at its next poll; resume clears it)")
+        return 0
+    out.error(f"unknown batch command {args.batch_command!r}")
+    return 2
+
+
 #: Scenario names accepted by `repro faults` (mirrors
 #: ``repro.core.resilience.SCENARIOS``; a test asserts the two match).
 FAULT_SCENARIOS = (
@@ -911,6 +1005,65 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=42)
     add_json_flag(profile)
     profile.set_defaults(handler=_cmd_profile)
+
+    batch = subparsers.add_parser(
+        "batch", help="submit and drive a sharded, crash-resumable "
+                      "batch of workload sessions"
+    )
+    batch_sub = batch.add_subparsers(dest="batch_command", required=True)
+
+    def add_execute_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workers", type=int, default=4,
+                         help="worker processes to shard across")
+        sub.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per job before it counts as lost")
+        sub.add_argument("--kill-worker-after", type=int, action="append",
+                         metavar="N",
+                         help="chaos hook: SIGKILL one busy worker after "
+                              "the N-th result lands (repeatable; used by "
+                              "the CI batch smoke)")
+
+    submit = batch_sub.add_parser(
+        "submit", help="create a batch of job specs (and run it)"
+    )
+    submit.add_argument("root", help="batch directory to create")
+    submit.add_argument("--jobs", type=int, default=100)
+    submit.add_argument("--seed", type=int, default=0,
+                        help="job i runs with seed SEED+i")
+    submit.add_argument("--workload", default="ml-train",
+                        help="registered workload handler")
+    submit.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-actor fault probability for faulted jobs")
+    submit.add_argument("--fault-every", type=int, default=1,
+                        help="arm faults on every N-th job only")
+    submit.add_argument("--no-execute", action="store_true",
+                        help="only write the specs; run later with "
+                             "`repro batch resume`")
+    add_execute_flags(submit)
+    add_json_flag(submit)
+    submit.set_defaults(handler=_cmd_batch)
+
+    resume = batch_sub.add_parser(
+        "resume", help="run (or continue) every unfinished job"
+    )
+    resume.add_argument("root", help="existing batch directory")
+    add_execute_flags(resume)
+    add_json_flag(resume)
+    resume.set_defaults(handler=_cmd_batch)
+
+    status = batch_sub.add_parser(
+        "status", help="show batch progress from the journal"
+    )
+    status.add_argument("root", help="existing batch directory")
+    add_json_flag(status)
+    status.set_defaults(handler=_cmd_batch)
+
+    kill = batch_sub.add_parser(
+        "kill", help="write the KILL sentinel: abort the running batch"
+    )
+    kill.add_argument("root", help="existing batch directory")
+    add_json_flag(kill)
+    kill.set_defaults(handler=_cmd_batch)
     return parser
 
 

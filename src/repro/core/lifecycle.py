@@ -493,11 +493,17 @@ class WorkloadSession:
                  require_completion: bool = True,
                  audit: bool = True,
                  recovery: Optional[Any] = None,
-                 injector: Optional[Any] = None):
+                 injector: Optional[Any] = None,
+                 on_phase_boundary: Optional[Callable[
+                     ["WorkloadSession", str], None]] = None,
+                 session_id: Optional[str] = None):
         self.market = market
         self.consumer = consumer
         self.kind = kind
-        self.session_id = market.next_session_id(kind.workload_id)
+        #: Restored sessions keep their original id (and must not consume a
+        #: fresh one, or later sessions on the same market would renumber).
+        self.session_id = (session_id if session_id is not None
+                           else market.next_session_id(kind.workload_id))
         self.state = STATE_CREATED
         self.interceptors: dict[str, PhaseInterceptor] = dict(
             interceptors or {}
@@ -511,6 +517,20 @@ class WorkloadSession:
         #: Fault injector whose ``fire(session, point, **info)`` runs at
         #: every named :meth:`fault_point` (None disables injection).
         self.injector = injector
+        #: Called as ``hook(session, next_phase)`` after every completed
+        #: phase and after every applied recovery directive — the points a
+        #: checkpoint is coherent at.  The hook may raise
+        #: :class:`~repro.errors.SessionPaused` to stop the session; the
+        #: object stays resumable (``checkpoint()`` + ``restore_session``).
+        self.on_phase_boundary = on_phase_boundary
+        #: The phase the engine will (re-)enter next; with ``state`` this
+        #: pins exactly where a checkpoint resumes, including recovery
+        #: re-entry edges where the next phase is *earlier* than the
+        #: current one.
+        self.next_phase = PHASE_DEPLOY
+        #: Set by ``restore_session``: resume the loop here instead of at
+        #: ``deploy``.
+        self._resume_from: Optional[str] = None
         self.trail: list[LifecycleEvent] = []
         self.ctx = SessionContext(executors=list(
             executors if executors is not None else market.executors
@@ -540,11 +560,18 @@ class WorkloadSession:
         )
 
     def snapshot(self) -> dict:
-        """Where the session stands right now (attached to failures)."""
+        """Where the session stands right now (attached to failures).
+
+        Includes the recovery-era bookkeeping sets (registered / submitted
+        / certified / executed / voted, per-phase retries, dropped
+        providers), so a debugger looking at a failed or resumed session
+        sees the same progress picture a checkpoint captures.
+        """
         return {
             "session_id": self.session_id,
             "workload_id": self.kind.workload_id,
             "state": self.state,
+            "next_phase": self.next_phase,
             "workload_address": self.ctx.workload_address,
             "participants": [p.address for p in self.ctx.participants],
             "executors": [e.address for e in self.ctx.executors],
@@ -556,7 +583,26 @@ class WorkloadSession:
             "blacklisted": list(self.ctx.blacklist),
             "recoveries": len(self.ctx.recovery_log),
             "refunded": self.ctx.refunded,
+            # -- phase bookkeeping (idempotent re-entry progress) ----------
+            "registered": sorted(self.ctx.registered),
+            "submitted": sorted(self.ctx.submitted),
+            "certified": sorted(self.ctx.certified),
+            "executed": sorted(self.ctx.executed),
+            "voted": sorted(self.ctx.voted),
+            "dropped_providers": sorted(self.ctx.dropped_providers),
+            "retries": dict(self.ctx.retries),
         }
+
+    def checkpoint(self) -> "Any":
+        """Externalize this session's progress as a ``SessionCheckpoint``.
+
+        Coherent at phase boundaries (where :attr:`on_phase_boundary`
+        fires) and before the first phase; see
+        :mod:`repro.core.checkpoint` for the format and restore paths.
+        """
+        from repro.core.checkpoint import checkpoint_session
+
+        return checkpoint_session(self)
 
     def fault_point(self, point: str, **info: Any) -> None:
         """Named injection point; a no-op unless an injector is armed."""
@@ -594,16 +640,34 @@ class WorkloadSession:
                 workload_id=self.kind.workload_id,
                 kind=type(self.kind).__name__,
             ) as root:
-                self.emit("session.started",
-                          workload_id=self.kind.workload_id,
-                          kind=type(self.kind).__name__)
-                index = 0
+                if self._resume_from is None:
+                    self.emit("session.started",
+                              workload_id=self.kind.workload_id,
+                              kind=type(self.kind).__name__)
+                    index = 0
+                else:
+                    # Restored session: re-enter mid-lifecycle at the
+                    # checkpointed next phase (possibly an earlier phase,
+                    # on a recovery edge).
+                    index = PHASE_INDEX[self._resume_from]
+                    self.emit("session.resumed", phase=self._resume_from,
+                              state=self.state)
+                    self._resume_from = None
                 while index < len(LIFECYCLE_PHASES):
                     target = self._run_phase(LIFECYCLE_PHASES[index])
                     if target is None:
                         index += 1
+                        self.next_phase = (
+                            LIFECYCLE_PHASES[index].name
+                            if index < len(LIFECYCLE_PHASES)
+                            else TERMINAL_COMPLETE
+                        )
                     else:
                         index = PHASE_INDEX[target]
+                        self.next_phase = target
+                    if (self.on_phase_boundary is not None
+                            and self.next_phase != TERMINAL_COMPLETE):
+                        self.on_phase_boundary(self, self.next_phase)
                 self.advance(TERMINAL_COMPLETE)
                 root.set_attribute("gas_used", self.gas_used)
                 root.set_attribute("blocks_mined", self.blocks_mined)
@@ -817,6 +881,27 @@ class LifecyclePhase:
     def run(self, session: WorkloadSession) -> None:
         raise NotImplementedError
 
+    def restore(self, session: WorkloadSession) -> None:
+        """Re-establish this phase's invariants on a rehydrated session.
+
+        Called by :func:`repro.core.checkpoint.restore_session` for every
+        phase the checkpoint records as completed, *before* the session
+        resumes.  Implementations validate that the target marketplace
+        still holds the state this phase produced (deployed contract,
+        launched enclaves, consistent bookkeeping sets) and raise
+        :class:`~repro.errors.CheckpointError` when it does not — the
+        signature of restoring against the wrong market, where the right
+        move is a deterministic replay instead.
+        """
+
+    def _restore_fail(self, session: WorkloadSession, message: str) -> None:
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            f"cannot restore {session.session_id} past phase "
+            f"{self.name!r}: {message}"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<phase {self.name}>"
 
@@ -858,6 +943,30 @@ class DeployPhase(LifecyclePhase):
                      workload_address=session.ctx.workload_address,
                      reward_pool=kind.reward_pool)
 
+    def restore(self, session: WorkloadSession) -> None:
+        """The deployed contract must exist here and carry the same spec."""
+        ctx = session.ctx
+        if not ctx.workload_address:
+            self._restore_fail(session, "no workload address recorded")
+        try:
+            onchain_spec = session.consumer.wallet.view(
+                ctx.workload_address, "spec_hash"
+            )
+        except PDS2Error as exc:
+            self._restore_fail(
+                session,
+                f"contract {ctx.workload_address} is unknown to this "
+                f"marketplace ({type(exc).__name__}) — chain state does "
+                "not survive process death; replay from the job seed",
+            )
+        if onchain_spec != session.kind.spec_hash():
+            self._restore_fail(
+                session,
+                f"contract at {ctx.workload_address} holds spec "
+                f"{onchain_spec[:12]}…, not this workload's "
+                f"{session.kind.spec_hash()[:12]}…",
+            )
+
 
 class MatchPhase(LifecyclePhase):
     """Fig. 2 step 2: storage-subsystem matching + provider consent."""
@@ -881,6 +990,27 @@ class MatchPhase(LifecyclePhase):
             session.emit("match.provider_joined", actor=provider.address)
         session.emit("match.completed", providers=len(participants))
 
+    def restore(self, session: WorkloadSession) -> None:
+        """The matched participant set must still satisfy the spec."""
+        ctx = session.ctx
+        if not ctx.participants:
+            self._restore_fail(session, "no matched participants recorded")
+        if len(ctx.participants) < session.kind.min_providers:
+            self._restore_fail(
+                session,
+                f"{len(ctx.participants)} participants < min_providers "
+                f"{session.kind.min_providers}",
+            )
+        overlap = ctx.dropped_providers.intersection(
+            p.address for p in ctx.participants
+        )
+        if overlap:
+            self._restore_fail(
+                session,
+                f"dropped providers still listed as participants: "
+                f"{sorted(overlap)}",
+            )
+
 
 class RegisterExecutorsPhase(LifecyclePhase):
     """Fig. 2 step 3: executors launch enclaves and register on-chain."""
@@ -903,6 +1033,30 @@ class RegisterExecutorsPhase(LifecyclePhase):
             ctx.registered.add(executor.address)
             session.emit("executor.registered", actor=executor.address)
         session.market._mine()
+
+    def restore(self, session: WorkloadSession) -> None:
+        """Registered executors must still hold live, launched enclaves."""
+        ctx = session.ctx
+        known = {e.address for e in ctx.executors} | set(ctx.blacklist)
+        stray = ctx.registered - known
+        if stray:
+            self._restore_fail(
+                session,
+                f"registered executors neither live nor blacklisted: "
+                f"{sorted(stray)}",
+            )
+        workload_id = session.kind.workload_id
+        for executor in ctx.executors:
+            if executor.address not in ctx.registered:
+                continue
+            enclave = executor.enclaves.get(workload_id)
+            if enclave is None:
+                self._restore_fail(
+                    session,
+                    f"executor {executor.address} has no enclave for "
+                    f"{workload_id!r} — enclave state does not survive "
+                    "process death; replay from the job seed",
+                )
 
 
 class AttestAndSubmitPhase(LifecyclePhase):
@@ -965,6 +1119,36 @@ class AttestAndSubmitPhase(LifecyclePhase):
                          item_count=certificate.item_count)
         market._mine()
 
+    def restore(self, session: WorkloadSession) -> None:
+        """Submission bookkeeping must be internally consistent."""
+        ctx = session.ctx
+        stray = ctx.submitted - ctx.certified
+        if stray:
+            self._restore_fail(
+                session,
+                f"providers submitted without an on-chain certificate: "
+                f"{sorted(stray)}",
+            )
+        live = {e.address for e in ctx.executors}
+        assigned: set[str] = set()
+        for executor, providers in ctx.assignments.items():
+            if executor not in live:
+                self._restore_fail(
+                    session,
+                    f"assignment references non-live executor {executor}",
+                )
+            assigned.update(p.address for p in providers)
+        # Providers may be submitted yet unassigned only if their executor
+        # crashed and took the assignment record (degrade path keeps them
+        # in ``submitted`` — their data died with the enclave).
+        missing = ctx.submitted - assigned
+        if missing and not ctx.blacklist:
+            self._restore_fail(
+                session,
+                f"submitted providers missing from all assignments: "
+                f"{sorted(missing)}",
+            )
+
 
 class StartExecutionPhase(LifecyclePhase):
     """Fig. 2 step 5: gate execution on the consumer's preconditions."""
@@ -982,6 +1166,16 @@ class StartExecutionPhase(LifecyclePhase):
         session.emit("execution.start_requested",
                      actor=session.consumer.address)
         session.market._mine()
+
+    def restore(self, session: WorkloadSession) -> None:
+        """Execution must already have started on this chain."""
+        state = session.read_state()
+        if state not in (STATE_EXECUTING, STATE_COMPLETE):
+            self._restore_fail(
+                session,
+                f"contract state is {state!r}, expected executing or "
+                "complete after start_execution",
+            )
 
 
 class ExecutePhase(LifecyclePhase):
@@ -1009,6 +1203,22 @@ class ExecutePhase(LifecyclePhase):
             session.emit("enclave.executed", actor=executor.address,
                          providers=len(ctx.assignments[executor.address]))
 
+    def restore(self, session: WorkloadSession) -> None:
+        """Every recorded execution must have a captured output."""
+        ctx = session.ctx
+        if len(ctx.outputs) != len(ctx.executed):
+            self._restore_fail(
+                session,
+                f"{len(ctx.outputs)} outputs recorded for "
+                f"{len(ctx.executed)} executed enclaves",
+            )
+        stray = ctx.executed - ctx.registered
+        if stray:
+            self._restore_fail(
+                session,
+                f"executors executed without registration: {sorted(stray)}",
+            )
+
 
 class AggregatePhase(LifecyclePhase):
     """Fig. 2 step 6b: all-reduce outputs and agree on payout weights."""
@@ -1027,6 +1237,22 @@ class AggregatePhase(LifecyclePhase):
         ctx.result_hash = result_hash_of(vector, weights_bps)
         session.emit("aggregate.completed", result_hash=ctx.result_hash,
                      outputs=len(ctx.outputs), degraded=ctx.degraded)
+
+    def restore(self, session: WorkloadSession) -> None:
+        """The checkpointed result must recompute to its recorded hash."""
+        ctx = session.ctx
+        if not ctx.result_hash:
+            self._restore_fail(session, "no aggregated result hash recorded")
+        recomputed = result_hash_of(
+            np.asarray(ctx.result_vector, dtype=float), ctx.weights_bps
+        )
+        if recomputed != ctx.result_hash:
+            self._restore_fail(
+                session,
+                "checkpointed result vector/weights do not hash to the "
+                f"recorded result hash ({recomputed[:12]}… != "
+                f"{ctx.result_hash[:12]}…)",
+            )
 
 
 class SettlePhase(LifecyclePhase):
@@ -1071,6 +1297,31 @@ class SettlePhase(LifecyclePhase):
                      total_paid=sum(ctx.payouts.values()),
                      recipients=len(ctx.payouts))
 
+    def restore(self, session: WorkloadSession) -> None:
+        """A settled checkpoint must match the contract's final state."""
+        ctx = session.ctx
+        if ctx.final_state != STATE_COMPLETE:
+            if session.require_completion:
+                self._restore_fail(
+                    session,
+                    f"checkpoint settled in state {ctx.final_state!r} "
+                    "despite require_completion",
+                )
+            return
+        state = session.read_state()
+        if state != STATE_COMPLETE:
+            self._restore_fail(
+                session,
+                f"contract state is {state!r} but the checkpoint settled "
+                "complete",
+            )
+        if ctx.payouts != session.collect_payouts():
+            self._restore_fail(
+                session,
+                "checkpointed payouts disagree with the chain's RewardPaid "
+                "events",
+            )
+
 
 class AuditPhase(LifecyclePhase):
     """Fig. 2 step 8: re-derive the history and cross-check the event trail."""
@@ -1094,6 +1345,15 @@ class AuditPhase(LifecyclePhase):
         session.ctx.audit = report
         session.emit("audit.completed", clean=report.clean,
                      violations=len(report.violations))
+
+    def restore(self, session: WorkloadSession) -> None:
+        """Audit re-runs on resume; the report is never checkpointed."""
+        if session.ctx.audit is not None:
+            self._restore_fail(
+                session,
+                "a restored session cannot carry a pre-built audit report "
+                "(the audit phase re-derives it from chain + trail)",
+            )
 
 
 #: The canonical phase order the engine drives.

@@ -31,6 +31,7 @@ happened; :data:`SCENARIOS` names the canned plans the CLI
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -130,6 +131,29 @@ class Fault:
         who = self.target or "any"
         return f"{self.kind.value} @ {where} on {who} (x{self.times})"
 
+    def to_dict(self) -> dict:
+        return {"kind": self.kind.value, "target": self.target,
+                "times": self.times, "point": self.point}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Fault":
+        return cls(kind=FaultKind(record["kind"]),
+                   target=record.get("target", ""),
+                   times=int(record.get("times", 1)),
+                   point=record.get("point", ""))
+
+
+def job_fault_seed(job_id: str) -> int:
+    """Deterministic fault seed derived from a batch job spec id alone.
+
+    Sharding must not change fault sequences: whichever worker (or how
+    many workers) runs a job, its plan derives from the spec id, never
+    from process-global state — so a sharded sweep reproduces the
+    single-process fault sequence exactly.
+    """
+    payload = b"pds2-job-fault|" + job_id.encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -166,8 +190,30 @@ class FaultPlan:
                                 point="start.chain_tx"))
         return cls(faults=tuple(faults))
 
+    @classmethod
+    def for_job(cls, job_id: str, rate: float,
+                executor_names: Sequence[str],
+                provider_names: Sequence[str]) -> "FaultPlan":
+        """The :meth:`sample` distribution, seeded per job spec id.
+
+        Composable with batch sharding: the plan depends only on
+        ``(job_id, rate, actors)``, so every worker — and the
+        single-process baseline — draws the identical plan for a job.
+        """
+        return cls.sample(rate, executor_names, provider_names,
+                          seed=job_fault_seed(job_id))
+
     def describe(self) -> list[str]:
         return [fault.describe() for fault in self.faults]
+
+    def to_dict(self) -> dict:
+        return {"faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultPlan":
+        return cls(faults=tuple(
+            Fault.from_dict(entry) for entry in record.get("faults", ())
+        ))
 
 
 class FaultInjector:
@@ -179,6 +225,26 @@ class FaultInjector:
                            for index, fault in enumerate(plan.faults)}
         #: Every fault that actually fired, in order.
         self.injected: list[dict] = []
+
+    def state_dict(self) -> dict:
+        """Checkpointable injector state (plan + remaining budgets)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "remaining": {str(index): count
+                          for index, count in self._remaining.items()},
+            "injected": [dict(entry) for entry in self.injected],
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "FaultInjector":
+        """Rebuild an injector mid-plan, so resumed sessions keep facing
+        exactly the faults the plan still owes them."""
+        injector = cls(FaultPlan.from_dict(state["plan"]))
+        for index, count in state.get("remaining", {}).items():
+            injector._remaining[int(index)] = int(count)
+        injector.injected = [dict(entry)
+                             for entry in state.get("injected", ())]
+        return injector
 
     def fire(self, session: WorkloadSession, point: str,
              executor: Optional["ExecutorActor"] = None,

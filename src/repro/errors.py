@@ -226,6 +226,33 @@ class WorkloadSpecError(MarketplaceError):
 # ---------------------------------------------------------------------------
 
 
+class CheckpointError(MarketplaceError):
+    """A session checkpoint cannot be produced, parsed, or restored.
+
+    Raised on format/version mismatches, on spec-hash divergence between a
+    checkpoint and the workload kind it is restored against, and when a
+    checkpoint references actors or contracts the target marketplace does
+    not know (the signature of rehydrating against the wrong market)."""
+
+
+# ---------------------------------------------------------------------------
+# Batch control plane
+# ---------------------------------------------------------------------------
+
+
+class ControlPlaneError(PDS2Error):
+    """Base class for batch control-plane failures."""
+
+
+class JobsDBError(ControlPlaneError):
+    """The jobs database journal or index is malformed or inconsistent."""
+
+
+class BatchError(ControlPlaneError):
+    """A batch execution reached an invalid state (bad transition,
+    unknown job, exhausted retry budget, operator kill)."""
+
+
 class LifecycleError(MarketplaceError):
     """A workload lifecycle phase failed.
 
@@ -299,6 +326,21 @@ class AuditFailure(LifecycleError):
     """The post-completion audit could not be produced."""
 
     phase = "audit"
+
+
+class SessionPaused(PDS2Error):
+    """A phase-boundary hook stopped the session for checkpointing.
+
+    Deliberately *not* a :class:`LifecycleError`: pausing is not a phase
+    failure, so it must never trigger the recovery policy or escrow
+    release.  The session object stays resumable — serialize it with
+    ``WorkloadSession.checkpoint()`` and continue via ``restore_session``.
+    """
+
+    def __init__(self, message: str, *, phase: str = "", next_phase: str = ""):
+        super().__init__(message)
+        self.phase = phase
+        self.next_phase = next_phase
 
 
 class InjectedFaultError(LifecycleError):

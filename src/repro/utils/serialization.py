@@ -1,11 +1,25 @@
 """Canonical serialization used everywhere a hash or signature is computed.
 
 Hashes over structured data (transactions, blocks, workload specs, sensor
-readings) must be stable across Python versions and dict insertion orders.
-``canonical_json`` provides that stability: keys are sorted, no insignificant
-whitespace is emitted, and only a small set of JSON-safe types is accepted.
-Binary payloads are encoded as ``{"__bytes__": "<hex>"}`` wrappers so they can
-round-trip without loss.
+readings, session checkpoints, batch job records) must be stable across
+Python versions and dict insertion orders.  ``canonical_json`` provides that
+stability: keys are sorted, no insignificant whitespace is emitted, and only
+a small set of JSON-safe types is accepted.  Binary payloads are encoded as
+``{"__bytes__": "<hex>"}`` wrappers so they can round-trip without loss;
+numpy arrays as ``{"__ndarray__": {...}}`` wrappers carrying dtype + shape.
+
+Determinism rules (golden-tested in ``tests/test_serialization_golden.py``):
+
+* dict keys are sorted lexicographically and must be strings;
+* sets and frozensets are emitted as lists sorted by each element's own
+  canonical encoding (so ``{"b", "a"}`` and ``{"a", "b"}`` are identical
+  on the wire) — they decode as lists, a deliberate loss: canonical
+  documents have no set type, callers re-wrap where set semantics matter;
+* floats use Python's shortest round-trip ``repr`` (what ``json.dumps``
+  emits), so ``0.1`` is exactly ``0.1`` and ``-0.0`` keeps its sign;
+  NaN/inf are rejected rather than emitted as non-standard JSON;
+* numpy scalars are coerced to their Python equivalents, numpy arrays to
+  the ndarray wrapper (C-order data, dtype string, explicit shape).
 """
 
 from __future__ import annotations
@@ -13,13 +27,37 @@ from __future__ import annotations
 import json
 from typing import Any
 
+import numpy as np
+
 _BYTES_KEY = "__bytes__"
+_NDARRAY_KEY = "__ndarray__"
+_RESERVED_KEYS = (_BYTES_KEY, _NDARRAY_KEY)
+
+#: ndarray dtypes allowed on the wire (everything else is a modeling error).
+_NDARRAY_DTYPES = ("float64", "float32", "int64", "int32", "bool")
+
+
+def _encode_ndarray(value: np.ndarray) -> dict:
+    dtype = str(value.dtype)
+    if dtype not in _NDARRAY_DTYPES:
+        raise TypeError(
+            f"ndarray dtype {dtype!r} is not canonically serializable "
+            f"(allowed: {', '.join(_NDARRAY_DTYPES)})"
+        )
+    flat = value.ravel(order="C").tolist()
+    return {_NDARRAY_KEY: {
+        "dtype": dtype,
+        "shape": list(value.shape),
+        "data": [_encode(item) for item in flat],
+    }}
 
 
 def _encode(value: Any) -> Any:
     """Recursively convert ``value`` into a JSON-serializable structure."""
     if isinstance(value, bytes):
         return {_BYTES_KEY: value.hex()}
+    if isinstance(value, np.ndarray):
+        return _encode_ndarray(value)
     if isinstance(value, dict):
         encoded = {}
         for key, item in value.items():
@@ -27,17 +65,27 @@ def _encode(value: Any) -> Any:
                 raise TypeError(
                     f"canonical JSON requires string keys, got {type(key).__name__}"
                 )
-            if key == _BYTES_KEY:
+            if key in _RESERVED_KEYS:
                 raise ValueError(
-                    f"the key {_BYTES_KEY!r} is reserved for binary payloads"
+                    f"the key {key!r} is reserved for typed payload wrappers"
                 )
             encoded[key] = _encode(item)
         return encoded
+    if isinstance(value, (set, frozenset)):
+        items = [_encode(item) for item in value]
+        return sorted(items, key=lambda item: json.dumps(
+            item, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+        ))
     if isinstance(value, (list, tuple)):
         return [_encode(item) for item in value]
-    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if value is None or isinstance(value, str):
         return value
-    if isinstance(value, float):
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
         # Floats are allowed but NaN/inf would break JSON round-tripping.
         if value != value or value in (float("inf"), float("-inf")):
             raise ValueError("NaN and infinite floats are not canonically serializable")
@@ -46,10 +94,14 @@ def _encode(value: Any) -> Any:
 
 
 def _decode(value: Any) -> Any:
-    """Inverse of :func:`_encode`: restore bytes wrappers."""
+    """Inverse of :func:`_encode`: restore bytes and ndarray wrappers."""
     if isinstance(value, dict):
         if set(value.keys()) == {_BYTES_KEY}:
             return bytes.fromhex(value[_BYTES_KEY])
+        if set(value.keys()) == {_NDARRAY_KEY}:
+            wrapped = value[_NDARRAY_KEY]
+            array = np.asarray(wrapped["data"], dtype=wrapped["dtype"])
+            return array.reshape(wrapped["shape"])
         return {key: _decode(item) for key, item in value.items()}
     if isinstance(value, list):
         return [_decode(item) for item in value]

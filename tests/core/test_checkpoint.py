@@ -1,0 +1,317 @@
+"""Session checkpoints: serialization round-trip, restore, resume.
+
+Layer 1 of the batch control plane: a :class:`SessionCheckpoint` captures
+a paused session's full mutable progress (including the event trail, so
+trail-derived accounting survives), round-trips through canonical bytes,
+and :func:`restore_session` rehydrates it against a marketplace — every
+phase re-validating its own invariants — to resume byte-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CHECKPOINT_FORMAT,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    Marketplace,
+    MLTrainingKind,
+    ModelSpec,
+    SessionCheckpoint,
+    TrainingSpec,
+    WorkloadSpec,
+    checkpoint_session,
+    job_fault_seed,
+    restore_session,
+)
+from repro.core.lifecycle import LIFECYCLE_PHASES, TERMINAL_COMPLETE
+from repro.errors import CheckpointError, SessionPaused
+from repro.ml.datasets import (
+    make_iot_activity,
+    split_dirichlet,
+    train_test_split,
+)
+from repro.storage.semantic import ConceptRequirement, SemanticAnnotation
+from repro.utils.serialization import canonical_json
+
+N_PROVIDERS = 2
+N_EXECUTORS = 2
+
+
+def build_market(seed: int = 42):
+    rng = np.random.default_rng(seed)
+    data = make_iot_activity(300, rng)
+    train, validation = train_test_split(data, 0.25, rng)
+    parts = split_dirichlet(train, N_PROVIDERS, 1.0, rng, min_samples=15)
+    market = Marketplace(seed=seed, validators=1, mint_deeds=False)
+    for index, part in enumerate(parts):
+        market.add_provider(f"u{index}", part,
+                            SemanticAnnotation("heart_rate", {}))
+    consumer = market.add_consumer("c", validation=validation)
+    for index in range(N_EXECUTORS):
+        market.add_executor(f"e{index}")
+    return market, consumer
+
+
+def make_kind() -> MLTrainingKind:
+    return MLTrainingKind(WorkloadSpec(
+        workload_id="wl-checkpoint",
+        requirement=ConceptRequirement("physiological"),
+        model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+        training=TrainingSpec(steps=10, learning_rate=0.3),
+        reward_pool=600_000,
+        min_providers=2,
+        min_samples=20,
+        required_confirmations=2,
+    ))
+
+
+def report_key(report) -> str:
+    """Canonical fingerprint over every seed-determined settlement field."""
+    return canonical_json({
+        "params": report.final_params,
+        "hash": report.result_hash,
+        "payouts": report.payouts,
+        "gas": report.gas_used,
+        "blocks": report.blocks_mined,
+        "score": report.consumer_score,
+        "weights": report.weights_bps,
+        "session": report.session_id,
+        "clean": report.audit.clean,
+        "degraded": report.degraded,
+    })
+
+
+class _PauseAt:
+    """Raise :class:`SessionPaused` at the k-th phase boundary."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self.fired = 0
+
+    def __call__(self, session, next_phase):
+        boundary = self.fired
+        self.fired += 1
+        if boundary == self.k:
+            raise SessionPaused("pause for checkpoint",
+                                phase=session.state, next_phase=next_phase)
+
+
+@pytest.fixture(scope="module")
+def baseline_key() -> str:
+    market, consumer = build_market()
+    report = market.session_for(consumer, make_kind()).run()
+    return report_key(report)
+
+
+#: The happy path fires a boundary after each phase except the last
+#: (audit -> TERMINAL_COMPLETE is not a re-entry point).
+HAPPY_BOUNDARIES = len(LIFECYCLE_PHASES) - 1
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("boundary", range(HAPPY_BOUNDARIES))
+    def test_pause_serialize_restore_resume_every_boundary(
+            self, boundary, baseline_key):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(boundary))
+        with pytest.raises(SessionPaused):
+            session.run()
+
+        blob = session.checkpoint().to_bytes()
+        restored_cp = SessionCheckpoint.from_bytes(blob)
+        # Byte-stable: serialize -> deserialize -> serialize is identity.
+        assert restored_cp.to_bytes() == blob
+        assert restored_cp.to_dict()["format"] == CHECKPOINT_FORMAT
+
+        resumed = restore_session(market, make_kind(), restored_cp)
+        assert resumed.session_id == session.session_id
+        report = resumed.run()
+        assert report_key(report) == baseline_key
+
+    def test_created_state_checkpoint_runs_from_scratch(self, baseline_key):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind())
+        checkpoint = SessionCheckpoint.from_bytes(
+            session.checkpoint().to_bytes())
+        report = restore_session(market, make_kind(), checkpoint).run()
+        assert report_key(report) == baseline_key
+
+    def test_digest_is_process_portable(self):
+        # Twin markets paused at the same boundary produce the same digest
+        # even though their trails carry different wall-clock readings: the
+        # digest covers progress, not timing.
+        digests = []
+        for _ in range(2):
+            market, consumer = build_market()
+            session = market.session_for(consumer, make_kind(),
+                                         on_phase_boundary=_PauseAt(3))
+            with pytest.raises(SessionPaused):
+                session.run()
+            digests.append(session.checkpoint().digest())
+        assert digests[0] == digests[1]
+
+    def test_trail_survives_round_trip(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(4))
+        with pytest.raises(SessionPaused):
+            session.run()
+        checkpoint = SessionCheckpoint.from_bytes(
+            session.checkpoint().to_bytes())
+        assert len(checkpoint.trail) == len(session.trail)
+        resumed = restore_session(market, make_kind(), checkpoint)
+        # Trail-derived accounting carried over exactly.
+        assert resumed.gas_used == session.gas_used
+        assert resumed.blocks_mined == session.blocks_mined
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_matches_checkpoint_mid_run(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(5))
+        with pytest.raises(SessionPaused):
+            session.run()
+        snapshot = session.snapshot()
+        checkpoint = session.checkpoint()
+        assert snapshot["state"] == checkpoint.state
+        assert snapshot["next_phase"] == checkpoint.next_phase
+        assert snapshot["registered"] == checkpoint.registered
+        assert snapshot["submitted"] == checkpoint.submitted
+        assert snapshot["certified"] == checkpoint.certified
+        assert snapshot["executed"] == checkpoint.executed
+        assert snapshot["voted"] == checkpoint.voted
+        assert snapshot["dropped_providers"] == checkpoint.dropped_providers
+        assert snapshot["retries"] == checkpoint.retries
+        assert snapshot["session_id"] == checkpoint.session_id
+
+    def test_snapshot_bookkeeping_sets_are_sorted_lists(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(5))
+        with pytest.raises(SessionPaused):
+            session.run()
+        snapshot = session.snapshot()
+        for field in ("registered", "submitted", "certified", "executed",
+                      "voted", "dropped_providers"):
+            assert snapshot[field] == sorted(snapshot[field])
+
+
+class TestCheckpointErrors:
+    def test_terminal_session_cannot_checkpoint(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind())
+        session.run()
+        assert session.state == TERMINAL_COMPLETE
+        with pytest.raises(CheckpointError):
+            checkpoint_session(session)
+
+    def test_from_dict_rejects_unknown_format(self):
+        market, consumer = build_market()
+        record = market.session_for(consumer, make_kind()) \
+                       .checkpoint().to_dict()
+        record["format"] = "pds2-session-checkpoint/99"
+        with pytest.raises(CheckpointError):
+            SessionCheckpoint.from_dict(record)
+
+    def test_restore_rejects_spec_mismatch(self):
+        market, consumer = build_market()
+        checkpoint = market.session_for(consumer, make_kind()).checkpoint()
+        other = MLTrainingKind(WorkloadSpec(
+            workload_id="wl-other",
+            requirement=ConceptRequirement("physiological"),
+            model=ModelSpec(family="softmax", num_features=6, num_classes=5),
+            training=TrainingSpec(steps=11, learning_rate=0.3),
+            reward_pool=600_000,
+            min_providers=2,
+            min_samples=20,
+            required_confirmations=2,
+        ))
+        with pytest.raises(CheckpointError):
+            restore_session(market, other, checkpoint)
+
+    def test_restore_rejects_illegal_transition_edge(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(3))
+        with pytest.raises(SessionPaused):
+            session.run()
+        record = session.checkpoint().to_dict()
+        record["next_phase"] = "deploy"  # not reachable from mid-lifecycle
+        with pytest.raises(CheckpointError):
+            restore_session(market, make_kind(),
+                            SessionCheckpoint.from_dict(record))
+
+    def test_restore_rejects_missing_actor(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(3))
+        with pytest.raises(SessionPaused):
+            session.run()
+        checkpoint = session.checkpoint()
+        stranger, stranger_consumer = build_market(seed=99)
+        with pytest.raises(CheckpointError):
+            restore_session(stranger, make_kind(), checkpoint,
+                            consumer=stranger_consumer)
+
+
+class TestInjectorStateRoundTrip:
+    def test_state_dict_restores_plan_and_budgets(self):
+        plan = FaultPlan.sample(0.8, ("e0", "e1"), ("u0", "u1"), seed=7)
+        injector = FaultInjector(plan)
+        state = injector.state_dict()
+        clone = FaultInjector.restore_state(state)
+        assert clone.state_dict() == state
+        assert [f.kind for f in clone.plan.faults] == \
+            [f.kind for f in plan.faults]
+
+    def test_job_fault_seed_is_stable_and_separated(self):
+        assert job_fault_seed("job-0001") == job_fault_seed("job-0001")
+        assert job_fault_seed("job-0001") != job_fault_seed("job-0002")
+
+    def test_for_job_equals_sample_at_derived_seed(self):
+        executors, providers = ("e0", "e1"), ("u0", "u1")
+        by_job = FaultPlan.for_job("job-0042", 0.5, executors, providers)
+        by_seed = FaultPlan.sample(0.5, executors, providers,
+                                   seed=job_fault_seed("job-0042"))
+        assert by_job.to_dict() == by_seed.to_dict()
+
+    def test_checkpoint_carries_injector_state(self):
+        market, consumer = build_market()
+        plan = FaultPlan.sample(0.9, ("e0", "e1"), ("u0", "u1"), seed=3)
+        injector = FaultInjector(plan)
+        session = market.session_for(consumer, make_kind(),
+                                     injector=injector,
+                                     on_phase_boundary=_PauseAt(2))
+        try:
+            session.run()
+        except SessionPaused:
+            pass
+        except Exception:
+            pytest.skip("fault terminated the session before boundary 2")
+        checkpoint = session.checkpoint()
+        assert checkpoint.injector is not None
+        restored = FaultInjector.restore_state(checkpoint.injector)
+        assert restored.state_dict() == injector.state_dict()
+
+
+class TestSessionPausedSemantics:
+    def test_session_paused_is_not_a_lifecycle_error(self):
+        from repro.errors import LifecycleError, PDS2Error
+        assert issubclass(SessionPaused, PDS2Error)
+        assert not issubclass(SessionPaused, LifecycleError)
+
+    def test_pause_does_not_trigger_recovery_or_settlement(self):
+        market, consumer = build_market()
+        session = market.session_for(consumer, make_kind(),
+                                     on_phase_boundary=_PauseAt(2))
+        with pytest.raises(SessionPaused):
+            session.run()
+        assert session.ctx.recovery_log == []
+        assert session.ctx.payouts == {}
+        assert session.state not in ("complete", "failed")
