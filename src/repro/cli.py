@@ -16,6 +16,11 @@ Usage::
                                          # benchmark trajectory + CI gate
     python -m repro profile --format collapsed
                                          # deterministic sampling profile
+    python -m repro batch submit RUNS/b --jobs 240
+                                         # sharded, crash-resumable batch
+    python -m repro top RUNS/b --watch 2 # live ops view: workers, SLO burn
+    python -m repro batch trace RUNS/b --chrome t.json
+                                         # assembled distributed trace
 
 The CLI exists so a downstream user can see the platform move without
 writing code; anything serious should use the Python API (see README).
@@ -329,6 +334,10 @@ def _cmd_experiments(args: argparse.Namespace, out: OutputWriter) -> int:
          "bench_e18_fault_recovery.py"),
         ("E20", "vectorized gossip kernels",
          "bench_e20_kernel_scale.py"),
+        ("E21", "sharded batch control plane at sweep scale",
+         "bench_e21_batch_scale.py"),
+        ("E22", "distributed trace assembly under chaos kills",
+         "bench_e22_trace_assembly.py"),
     ]
     out.line("experiment suite (run: pytest benchmarks/ --benchmark-only)\n")
     for exp_id, title, bench in experiments:
@@ -579,27 +588,68 @@ def _cmd_metrics(args: argparse.Namespace, out: OutputWriter) -> int:
 
 
 def _cmd_spans(args: argparse.Namespace, out: OutputWriter) -> int:
-    from repro.core.events import read_jsonl_events
-    from repro.telemetry import render_span_tree, spans_from_events
+    """Render spans from an event trace, a span sidecar, or a batch dir.
 
+    The source is sniffed, not flagged: a directory is treated as a batch
+    root (all ``spans/*.jsonl`` sidecars merged), a JSONL file whose
+    records carry ``"type": "span"`` as one sidecar shard, and anything
+    else as a lifecycle event trace carrying ``span.end`` events.
+    """
+    import os
+
+    from repro.errors import PDS2Error
+    from repro.telemetry import (
+        read_span_records,
+        render_span_tree,
+        span_from_record,
+        spans_from_events,
+    )
+
+    source = args.run
     try:
-        events = read_jsonl_events(args.run)
-    except OSError as exc:
-        out.error(f"cannot read trace {args.run!r}: {exc}")
+        if os.path.isdir(source):
+            from repro.control import JobsDB
+
+            db = JobsDB.open(source)
+            try:
+                records = db.span_records()
+            finally:
+                db.close()
+        else:
+            records = read_span_records(source)
+    except (OSError, PDS2Error) as exc:
+        out.error(f"cannot read {source!r}: {exc}")
         return 1
-    spans = spans_from_events(events)
+
+    if any(r.get("type") == "span" for r in records):
+        spans = [span_from_record(r) for r in records
+                 if r.get("type") == "span"]
+    else:
+        from repro.core.events import read_jsonl_events
+
+        try:
+            events = read_jsonl_events(source)
+        except OSError as exc:
+            out.error(f"cannot read trace {source!r}: {exc}")
+            return 1
+        spans = spans_from_events(events)
     if args.session:
         spans = [s for s in spans
                  if s.attributes.get("session_id") == args.session]
+    if args.trace_id:
+        spans = [s for s in spans
+                 if s.attributes.get("trace_id") == args.trace_id]
     if not spans:
-        out.error(f"no finished spans in {args.run!r}"
-                  + (f" for session {args.session!r}" if args.session
-                     else "")
-                  + " (was the trace written with span support?)")
+        filters = [f"session {args.session!r}" if args.session else "",
+                   f"trace {args.trace_id!r}" if args.trace_id else ""]
+        applied = " for " + " and ".join(f for f in filters if f) \
+            if any(filters) else ""
+        out.error(f"no finished spans in {source!r}{applied}"
+                  " (was the trace written with span support?)")
         return 1
-    out.line(f"{len(spans)} spans from {args.run}")
+    out.line(f"{len(spans)} spans from {source}")
     out.line(render_span_tree(spans))
-    out.set("trace", args.run)
+    out.set("trace", source)
     out.set("span_count", len(spans))
     out.set("spans", [span.to_dict() for span in spans])
     return 0
@@ -777,6 +827,7 @@ def _batch_run(args: argparse.Namespace, out: OutputWriter) -> int:
     out.set("status", report.status)
     out.set("counts", report.counts)
     out.set("batch_digest", report.batch_digest)
+    out.set("trace_id", report.trace_id)
     out.set("worker_deaths", report.worker_deaths)
     out.set("requeues", report.requeues)
     out.set("manifest", report.manifest_path)
@@ -784,8 +835,83 @@ def _batch_run(args: argparse.Namespace, out: OutputWriter) -> int:
     return 0 if ok else 1
 
 
+def _cmd_top(args: argparse.Namespace, out: OutputWriter) -> int:
+    """Live (or one-shot) operator view of a batch directory."""
+    import dataclasses
+    import time as _time
+
+    from repro.control import TERMINAL_BATCH_STATES, ops_snapshot, render_top
+    from repro.errors import PDS2Error
+
+    snap = None
+    while True:
+        try:
+            snap = ops_snapshot(args.root,
+                                settled_objective=args.slo_settled,
+                                p95_objective_s=args.slo_p95)
+        except PDS2Error as exc:
+            out.error(f"cannot read batch at {args.root!r}: {exc}")
+            return 1
+        out.line(render_top(snap).rstrip("\n"))
+        if args.watch is None or snap.batch_status in TERMINAL_BATCH_STATES:
+            break
+        out.line("")
+        _time.sleep(args.watch)
+    out.set("snapshot", dataclasses.asdict(snap))
+    return 0
+
+
+def _batch_trace(args: argparse.Namespace, out: OutputWriter) -> int:
+    from repro.control import assemble_batch_trace
+    from repro.errors import PDS2Error
+    from repro.telemetry import (
+        critical_path,
+        render_critical_path,
+        to_chrome_trace,
+    )
+
+    try:
+        assembled = assemble_batch_trace(args.root)
+    except PDS2Error as exc:
+        out.error(f"cannot assemble trace for {args.root!r}: {exc}")
+        return 1
+    out.line(f"trace {assembled.trace_id}")
+    out.line(f"spans: {len(assembled.spans)} "
+             f"(lost-worker: {len(assembled.lost)}, "
+             f"orphans: {len(assembled.orphans)})")
+    out.line(f"completeness: {assembled.completeness:.3f}"
+             + (f"  unwitnessed: {', '.join(assembled.unwitnessed)}"
+                if assembled.unwitnessed else ""))
+    path = critical_path(assembled)
+    out.line("")
+    out.line(render_critical_path(path).rstrip("\n"))
+    out.set("trace_id", assembled.trace_id)
+    out.set("span_count", len(assembled.spans))
+    out.set("completeness", assembled.completeness)
+    out.set("orphans", len(assembled.orphans))
+    out.set("lost_workers", len(assembled.lost))
+    out.set("unwitnessed", assembled.unwitnessed)
+    out.set("critical_path", {"job_id": path.job_id,
+                              "total_sim": path.total_sim,
+                              "chain": path.chain})
+    if args.chrome:
+        payload = to_chrome_trace(assembled)
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")
+        out.line(f"chrome trace written to {args.chrome} "
+                 "(load at chrome://tracing or https://ui.perfetto.dev)")
+        out.set("chrome", args.chrome)
+    # Orphaned spans mean the causal story has holes; fail loudly so the
+    # CI trace-smoke job catches it.
+    return 0 if not assembled.orphans else 1
+
+
 def _cmd_batch(args: argparse.Namespace, out: OutputWriter) -> int:
     from repro.control import JobSpec, JobsDB, submit_batch
+
+    if args.batch_command == "trace":
+        return _batch_trace(args, out)
 
     if args.batch_command == "submit":
         specs = []
@@ -959,12 +1085,34 @@ def build_parser() -> argparse.ArgumentParser:
     spans = subparsers.add_parser(
         "spans", help="render the span tree recorded in a trace"
     )
-    spans.add_argument("run", help="path to a JSONL trace written by "
-                                   "`repro quickstart --trace`")
+    spans.add_argument("run", help="a JSONL event trace (from `repro "
+                                   "quickstart --trace`), a span sidecar "
+                                   "(spans/<shard>.jsonl), or a batch "
+                                   "directory (all sidecars merged)")
     spans.add_argument("--session", default=None,
                        help="only spans of one session id")
+    spans.add_argument("--trace", dest="trace_id", default=None,
+                       metavar="TRACE_ID",
+                       help="only spans of one distributed trace id")
     add_json_flag(spans)
     spans.set_defaults(handler=_cmd_spans)
+
+    top = subparsers.add_parser(
+        "top", help="live ops view of a batch: workers, heartbeats, "
+                    "outcomes, SLO burn"
+    )
+    top.add_argument("root", help="batch directory (running or settled)")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="refresh every SECONDS until the batch reaches "
+                          "a terminal state (default: print once)")
+    top.add_argument("--slo-settled", type=float, default=0.95,
+                     metavar="FRACTION",
+                     help="settled-fraction objective for the burn gauge")
+    top.add_argument("--slo-p95", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="p95 job wall-time objective for the burn gauge")
+    add_json_flag(top)
+    top.set_defaults(handler=_cmd_top)
 
     bench = subparsers.add_parser(
         "bench", help="run the benchmark suite into a BENCH trajectory"
@@ -1064,6 +1212,17 @@ def build_parser() -> argparse.ArgumentParser:
     kill.add_argument("root", help="existing batch directory")
     add_json_flag(kill)
     kill.set_defaults(handler=_cmd_batch)
+
+    batch_trace = batch_sub.add_parser(
+        "trace", help="assemble the distributed trace: completeness, "
+                      "lost workers, critical path"
+    )
+    batch_trace.add_argument("root", help="existing batch directory")
+    batch_trace.add_argument("--chrome", default=None, metavar="PATH",
+                             help="also write Chrome trace-event JSON "
+                                  "(chrome://tracing / ui.perfetto.dev)")
+    add_json_flag(batch_trace)
+    batch_trace.set_defaults(handler=_cmd_batch)
     return parser
 
 

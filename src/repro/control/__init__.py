@@ -48,6 +48,12 @@ from repro.control.supervisor import (
     result_digest_of,
     run_job,
 )
+from repro.control.trace_ops import (
+    OpsSnapshot,
+    assemble_batch_trace,
+    ops_snapshot,
+    render_top,
+)
 
 __all__ = [
     "BatchReport",
@@ -79,4 +85,8 @@ __all__ = [
     "handler",
     "result_digest_of",
     "run_job",
+    "OpsSnapshot",
+    "assemble_batch_trace",
+    "ops_snapshot",
+    "render_top",
 ]

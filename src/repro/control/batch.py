@@ -36,6 +36,7 @@ import json
 import os
 import signal
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Callable, Optional, Sequence
@@ -51,6 +52,12 @@ from repro.control.jobs_db import (
 )
 from repro.control.supervisor import JobContext, run_job
 from repro.errors import BatchError
+from repro.telemetry.distributed import (
+    TRACE_ANNOUNCE_RECORD,
+    TRACE_EVENT_RECORD,
+    CoordinatorSpanExporter,
+    batch_trace_context,
+)
 from repro.utils.serialization import canonical_json_bytes
 
 _JOBS_TOTAL = telemetry.counter(
@@ -75,6 +82,18 @@ def submit_batch(root: str, specs: Sequence[JobSpec]) -> JobsDB:
     return JobsDB.create(root, specs)
 
 
+@contextmanager
+def _exporting(span_tracer, exporter):
+    """Attach a span exporter for the duration of the block (always
+    detached, so a failed batch never leaks an exporter onto the
+    process-wide tracer)."""
+    span_tracer.add_exporter(exporter)
+    try:
+        yield
+    finally:
+        span_tracer.remove_exporter(exporter)
+
+
 # ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
@@ -86,6 +105,11 @@ def _worker_main(root: str, worker_id: str, task_queue) -> None:
     All output goes through this worker's own journal shard; the terminal
     ``done`` record is the result hand-off.  Exits on the ``None`` sentinel.
     """
+    # The fork inherits the coordinator's tracer *with its exporter
+    # attached* (and the coordinator's open sidecar handle).  Drop it:
+    # this process must only ever export through its own JobSpanExporter
+    # into its own shard, or two processes interleave one file.
+    telemetry.tracer().exporters.clear()
     db = JobsDB.open(root)
     last_beat = [0.0]
 
@@ -109,6 +133,7 @@ def _worker_main(root: str, worker_id: str, task_queue) -> None:
             db=db, shard=worker_id, worker=worker_id, attempt=attempt,
             resume_digests={int(k): v for k, v in resume_digests.items()},
             heartbeat=heartbeat,
+            span_sink=db.span_writer(worker_id).append,
         )
         run_job(spec, ctx)
         db.heartbeat(worker_id, {"status": "idle", "pid": os.getpid()})
@@ -190,6 +215,8 @@ class BatchReport:
     batch_digest: str = ""
     divergent: list[dict] = field(default_factory=list)
     aborted: bool = False
+    #: Deterministic distributed-trace id (a digest of the spec digests).
+    trace_id: str = ""
 
 
 def batch_digest_of(results: dict[str, JobResult]) -> str:
@@ -230,8 +257,14 @@ def batch_execute(root: str, workers: int = 4, *,
     pending = [job_id for job_id in specs if job_id not in results]
     total = len(specs)
     started = time.perf_counter()
+    # The batch trace id digests the submitted spec digests, so workers
+    # and offline assemblers derive the identical id from content alone.
+    trace = batch_trace_context(
+        spec.spec_digest() for spec in specs.values())
     db.append({"type": "batch", "status": BATCH_RUNNING, "jobs": total,
                "pending": len(pending), "workers": workers})
+    db.append({"type": TRACE_ANNOUNCE_RECORD, "trace_id": trace.trace_id,
+               "root_span_id": trace.span_id})
 
     mp = multiprocessing.get_context("fork")
     tail = _JournalTail(db.journal_dir)
@@ -261,7 +294,11 @@ def batch_execute(root: str, workers: int = 4, *,
         attempt = attempts.get(job_id, 0) + 1
         attempts[job_id] = attempt
         resume = {str(k): v for k, v in checkpoints.get(job_id, {}).items()}
-        task = (specs[job_id].to_dict(), attempt, resume)
+        # Stamp trace context at assignment time (spec_digest unchanged).
+        spec_record = (specs[job_id]
+                       .with_trace_parent(trace.to_traceparent())
+                       .to_dict())
+        task = (spec_record, attempt, resume)
         worker.assigned = (job_id, attempt)
         worker.assigned_at = time.monotonic()
         db.append({"type": "job", "job_id": job_id, "status": "queued",
@@ -272,7 +309,14 @@ def batch_execute(root: str, workers: int = 4, *,
         """A worker is gone: account for it and rescue its job."""
         nonlocal worker_deaths, requeues
         worker_deaths += 1
-        _WORKER_DEATHS.labels(reason=reason).inc()
+        deaths = _WORKER_DEATHS.labels(reason=reason)
+        deaths.inc()
+        deaths.set_exemplar(trace_id=trace.trace_id)
+        span_sink({"type": TRACE_EVENT_RECORD, "name": "worker.lost",
+                   "trace_id": trace.trace_id, "worker": worker.worker_id,
+                   "reason": reason,
+                   "job_id": worker.assigned[0] if worker.assigned else "",
+                   "attempt": worker.assigned[1] if worker.assigned else 0})
         if worker.process.is_alive():  # hung, not dead: put it down
             os.kill(worker.process.pid, signal.SIGKILL)
         worker.process.join(timeout=5.0)
@@ -293,17 +337,29 @@ def batch_execute(root: str, workers: int = 4, *,
                            "attempt": attempt, "worker": worker.worker_id,
                            "result": result.to_dict()})
                 results[job_id] = result
-                _JOBS_TOTAL.labels(outcome=JOB_ERROR).inc()
+                jobs_child = _JOBS_TOTAL.labels(outcome=JOB_ERROR)
+                jobs_child.inc()
+                jobs_child.set_exemplar(trace_id=trace.trace_id)
             else:
                 requeues += 1
                 _REQUEUES.inc()
+                _REQUEUES.set_exemplar(trace_id=trace.trace_id)
                 db.append({"type": "job", "job_id": job_id,
                            "status": "requeued", "attempt": attempt,
                            "worker": worker.worker_id})
+                span_sink({"type": TRACE_EVENT_RECORD,
+                           "name": "job.requeued",
+                           "trace_id": trace.trace_id,
+                           "worker": worker.worker_id,
+                           "job_id": job_id, "attempt": attempt})
                 pending.insert(0, job_id)
 
-    with telemetry.tracer().span("batch.execute", root=root, jobs=total,
-                                 workers=workers):
+    span_sink = db.span_writer("coordinator").append
+    exporter = CoordinatorSpanExporter(trace, span_sink)
+    with _exporting(telemetry.tracer(), exporter), \
+            telemetry.tracer().span("batch.execute", root=root, jobs=total,
+                                    workers=workers,
+                                    trace_id=trace.trace_id):
         for _ in range(min(workers, len(pending))):
             spawn_worker()
         try:
@@ -322,7 +378,10 @@ def batch_execute(root: str, workers: int = 4, *,
                         result = JobResult.from_dict(record["result"])
                         results[job_id] = result
                         done_this_run += 1
-                        _JOBS_TOTAL.labels(outcome=result.outcome).inc()
+                        jobs_child = _JOBS_TOTAL.labels(
+                            outcome=result.outcome)
+                        jobs_child.inc()
+                        jobs_child.set_exemplar(trace_id=trace.trace_id)
                         for worker in pool.values():
                             if (worker.assigned is not None
                                     and worker.assigned[0] == job_id):
@@ -401,7 +460,9 @@ def batch_execute(root: str, workers: int = 4, *,
     index = db.compact(write=True)
     status = _terminal_status(specs, results, aborted,
                               missing=[j for j in specs if j not in results])
-    _BATCHES.labels(status=status).inc()
+    batches_child = _BATCHES.labels(status=status)
+    batches_child.inc()
+    batches_child.set_exemplar(trace_id=trace.trace_id)
     wall_s = time.perf_counter() - started
     counts: dict[str, int] = {}
     for result in results.values():
@@ -413,6 +474,7 @@ def batch_execute(root: str, workers: int = 4, *,
     digest = batch_digest_of(results)
     manifest_path = db.write_manifest({
         "status": status,
+        "trace_id": trace.trace_id,
         "jobs": total,
         "counts": counts,
         "worker_deaths": worker_deaths,
@@ -435,6 +497,7 @@ def batch_execute(root: str, workers: int = 4, *,
         workers=workers, worker_deaths=worker_deaths, requeues=requeues,
         wall_s=wall_s, manifest_path=manifest_path, batch_digest=digest,
         divergent=list(index["divergent"]), aborted=aborted,
+        trace_id=trace.trace_id,
     )
 
 

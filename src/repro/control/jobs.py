@@ -16,7 +16,7 @@ across sharded and baseline runs), and accounting counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from hashlib import sha256
 from typing import Any, Mapping
 
@@ -51,6 +51,13 @@ class JobSpec:
     fault_rate: float = 0.0
     #: Arm the recovery policy (False reproduces the fail-fast baseline).
     recover: bool = True
+    #: W3C-style traceparent the coordinator stamps at assignment time so
+    #: the worker's spans join the batch trace.  Observability metadata,
+    #: not identity: excluded from :meth:`spec_digest` (a traced and an
+    #: untraced run of the same work are the same content) and from
+    #: ``to_dict`` when empty, so submitted ``specs.jsonl`` bytes and all
+    #: existing digests are unchanged.
+    trace_parent: str = ""
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -58,7 +65,7 @@ class JobSpec:
         object.__setattr__(self, "params", dict(self.params))
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "job_id": self.job_id,
             "seed": self.seed,
             "workload": self.workload,
@@ -66,6 +73,9 @@ class JobSpec:
             "fault_rate": self.fault_rate,
             "recover": self.recover,
         }
+        if self.trace_parent:
+            record["trace_parent"] = self.trace_parent
+        return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "JobSpec":
@@ -77,13 +87,21 @@ class JobSpec:
                 params=record.get("params", {}),
                 fault_rate=float(record.get("fault_rate", 0.0)),
                 recover=bool(record.get("recover", True)),
+                trace_parent=str(record.get("trace_parent", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JobsDBError(f"malformed job spec: {exc}") from exc
 
+    def with_trace_parent(self, trace_parent: str) -> "JobSpec":
+        """A copy carrying trace context (same ``spec_digest``)."""
+        return replace(self, trace_parent=trace_parent)
+
     def spec_digest(self) -> str:
-        """Canonical content address of this spec."""
-        return sha256(canonical_json_bytes(self.to_dict())).hexdigest()
+        """Canonical content address of this spec (trace context excluded:
+        the digest names the *work*, not how it is observed)."""
+        payload = self.to_dict()
+        payload.pop("trace_parent", None)
+        return sha256(canonical_json_bytes(payload)).hexdigest()
 
 
 @dataclass

@@ -112,11 +112,13 @@ class JobsDB:
         self.root = root
         self.specs_path = os.path.join(root, "specs.jsonl")
         self.journal_dir = os.path.join(root, "journal")
+        self.spans_dir = os.path.join(root, "spans")
         self.index_path = os.path.join(root, "index.json")
         self.manifest_path = os.path.join(root, "manifest.json")
         self.heartbeat_dir = os.path.join(root, "heartbeats")
         self.kill_path = os.path.join(root, "KILL")
         self._writers: dict[str, JournalShard] = {}
+        self._span_writers: dict[str, JournalShard] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -159,6 +161,9 @@ class JobsDB:
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
+        for writer in self._span_writers.values():
+            writer.close()
+        self._span_writers.clear()
 
     # -- specs --------------------------------------------------------------
 
@@ -176,6 +181,37 @@ class JobsDB:
 
     def append(self, record: dict, shard: str = "coordinator") -> dict:
         return self.writer(shard).append(record)
+
+    # -- span sidecars ------------------------------------------------------
+
+    def span_writer(self, shard: str) -> JournalShard:
+        """This writer's span sidecar (``spans/<shard>.jsonl``).
+
+        Same discipline as the journal: one shard per writer process,
+        append + flush per record, readers drop a torn final line.  Spans
+        are kept out of the jobs journal so trace volume never slows the
+        coordinator's tail-ingest of control records.
+        """
+        if shard not in self._span_writers:
+            os.makedirs(self.spans_dir, exist_ok=True)
+            path = os.path.join(self.spans_dir, f"{shard}.jsonl")
+            self._span_writers[shard] = JournalShard(path, shard)
+        return self._span_writers[shard]
+
+    def span_records(self) -> list[dict]:
+        """Every span-sidecar record across all shards, torn tails dropped,
+        in ``(ts, shard, seq)`` best-effort global order."""
+        from repro.telemetry.distributed import read_span_records
+
+        records: list[dict] = []
+        if os.path.isdir(self.spans_dir):
+            for name in sorted(os.listdir(self.spans_dir)):
+                if name.endswith(".jsonl"):
+                    records.extend(read_span_records(
+                        os.path.join(self.spans_dir, name)))
+        records.sort(key=lambda r: (r.get("ts", 0.0), r.get("shard", ""),
+                                    r.get("seq", 0)))
+        return records
 
     def journal_records(self) -> list[dict]:
         """Every record across all shards, in global ``(ts, shard, seq)``

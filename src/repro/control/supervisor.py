@@ -62,6 +62,10 @@ class JobContext:
     resume_digests: dict[int, str] = field(default_factory=dict)
     #: Liveness callback, invoked at each boundary (throttled by caller).
     heartbeat: Optional[Callable[[dict], None]] = None
+    #: Where exported span records go (one dict per finished span); the
+    #: worker points this at its ``spans/<worker>.jsonl`` sidecar.  None
+    #: keeps tracing in-process only (the bare baseline path).
+    span_sink: Optional[Callable[[dict], None]] = None
 
     def journal(self, record: dict) -> None:
         if self.db is not None:
@@ -241,23 +245,54 @@ def run_job(spec: JobSpec, ctx: Optional[JobContext] = None) -> JobResult:
     state machine treats as fatal.  The terminal record is journaled here
     so a result survives even if the worker dies immediately after.
     """
+    from repro.errors import TelemetryError
+    from repro.telemetry.distributed import JobSpanExporter, TraceContext
+
     ctx = ctx if ctx is not None else JobContext()
     telemetry.reset()
+    # Re-anchor the tracer's sim clock too: ``reset()`` leaves it bound to
+    # the *previous* job's marketplace, so this job's root span would open
+    # at whatever sim time that run ended on — making its sim_duration
+    # depend on worker scheduling.  Zeroed here (and re-bound by the
+    # handler's own Marketplace), the span's sim window is a pure function
+    # of the job, which the critical-path determinism guarantee needs.
+    telemetry.tracer().sim_clock = lambda: 0.0
+    spec_digest = spec.spec_digest()
+    trace: Optional[TraceContext] = None
+    if spec.trace_parent:
+        try:
+            trace = TraceContext.from_traceparent(spec.trace_parent)
+        except TelemetryError:
+            trace = None  # a malformed traceparent must never fail the job
+    exporter = None
+    span_tracer = telemetry.tracer()
+    if trace is not None and ctx.span_sink is not None:
+        # telemetry.reset() restarts the tracer's local id counter, so the
+        # exported span ids are pure functions of (trace, spec, attempt).
+        exporter = JobSpanExporter(trace, spec.job_id, spec_digest,
+                                   ctx.attempt, ctx.span_sink)
+        span_tracer.add_exporter(exporter)
     started = time.perf_counter()
     ctx.journal({"job_id": spec.job_id, "status": "started",
-                 "spec_digest": spec.spec_digest()})
+                 "spec_digest": spec_digest})
     job_handler = HANDLERS.get(spec.workload)
     try:
+        if trace is not None:
+            span_tracer.context["trace_id"] = trace.trace_id
         if job_handler is None:
             raise ControlPlaneError(
                 f"no handler registered for workload {spec.workload!r}"
             )
-        with telemetry.tracer().span("batch.job", job_id=spec.job_id,
-                                     workload=spec.workload):
+        with span_tracer.span("batch.job", job_id=spec.job_id,
+                              workload=spec.workload, attempt=ctx.attempt):
             result = job_handler(spec, ctx)
     except Exception as exc:  # noqa: BLE001 - the journal is the report
         result = JobResult(job_id=spec.job_id, outcome=JOB_ERROR,
                            error=f"{type(exc).__name__}: {exc}")
+    finally:
+        if exporter is not None:
+            span_tracer.remove_exporter(exporter)
+        span_tracer.context.pop("trace_id", None)
     result.worker = ctx.worker
     result.attempt = ctx.attempt
     result.wall_s = time.perf_counter() - started

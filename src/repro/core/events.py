@@ -345,3 +345,36 @@ def phase_gas_totals(events: Iterable[LifecycleEvent]) -> dict[str, int]:
         if event.gas_delta:
             totals[event.phase] = totals.get(event.phase, 0) + event.gas_delta
     return totals
+
+
+#: Event names worth surfacing as instant markers on a trace timeline.
+MARKER_EVENT_PREFIXES = ("fault.", "recovery.", "session.")
+
+
+def instant_markers(events: Iterable[LifecycleEvent]) -> list[dict]:
+    """Fault/recovery/session events as Chrome trace-event instants.
+
+    Complements the span lanes of a Chrome export: spans show *where time
+    went*, these ``ph:"i"`` markers show *what happened to the run* —
+    injected faults, recovery directives, session boundaries — at their
+    sim-clock positions (sim units mapped 1:1 to microseconds, matching
+    nothing but themselves: instants are ordinal, not durations).
+    """
+    markers: list[dict] = []
+    for event in events:
+        if not event.name.startswith(MARKER_EVENT_PREFIXES):
+            continue
+        markers.append({
+            "ph": "i", "pid": 1, "tid": 1, "s": "g",
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "ts": max(0.0, event.sim_clock),
+            "args": {
+                "session_id": event.session_id,
+                "phase": event.phase,
+                "sequence": event.sequence,
+                **{k: v for k, v in event.data.items()
+                   if isinstance(v, (str, int, float, bool))},
+            },
+        })
+    return markers

@@ -531,6 +531,10 @@ class WorkloadSession:
         #: Set by ``restore_session``: resume the loop here instead of at
         #: ``deploy``.
         self._resume_from: Optional[str] = None
+        #: Running count of phase executions (recovery re-entry runs a
+        #: phase more than once); stamped on every phase span so a trace
+        #: shows the re-entry ordinal without diffing span names.
+        self._phase_entries = 0
         self.trail: list[LifecycleEvent] = []
         self.ctx = SessionContext(executors=list(
             executors if executors is not None else market.executors
@@ -685,8 +689,10 @@ class WorkloadSession:
         self.advance(phase.name)
         gas_before = self.market.chain.total_gas_used
         self.emit("phase.started")
+        self._phase_entries += 1
         with self.market.tracer.span(
             f"lifecycle.phase.{phase.name}", session_id=self.session_id,
+            entry=self._phase_entries,
         ) as span, profiled(f"phase.{phase.name}"):
             try:
                 interceptor = self.interceptors.get(phase.name)

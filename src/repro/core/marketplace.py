@@ -233,17 +233,12 @@ class Marketplace:
                 f"session {self._active.session_id} is already running"
             )
         self._active = session
-        had_context = "session_id" in self.tracer.context
-        saved_context = self.tracer.context.get("session_id")
-        self.tracer.context["session_id"] = session.session_id
         try:
-            with self.metrics.context_labels(session_id=session.session_id):
+            with self.tracer.scoped_context(session_id=session.session_id), \
+                    self.metrics.context_labels(
+                        session_id=session.session_id):
                 yield
         finally:
-            if had_context:
-                self.tracer.context["session_id"] = saved_context
-            else:
-                self.tracer.context.pop("session_id", None)
             self._active = None
 
     def publish_event(self, name: str, *,

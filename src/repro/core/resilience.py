@@ -49,6 +49,7 @@ from repro.core.lifecycle import (
 from repro.core.workload import WorkloadSpec
 from repro.errors import InjectedFaultError, LifecycleError, PDS2Error
 from repro.telemetry import metrics as _tm
+from repro.telemetry import tracing as _tt
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -287,6 +288,13 @@ class FaultInjector:
         }
         self.injected.append(record)
         _FAULTS_INJECTED.labels(kind=fault.kind.value).inc()
+        # Stamp the innermost open span so the distributed trace shows
+        # *where* the fault fired without correlating against the event
+        # log (the span will also be marked status=error by the raise).
+        current = _tt.tracer().current
+        if current is not None:
+            current.set_attribute("fault_kind", fault.kind.value)
+            current.set_attribute("fault_point", point)
         session.emit("fault.injected", point=point, kind=fault.kind.value,
                      target=fault.target, dead_executor=dead_executor,
                      provider=provider_address)

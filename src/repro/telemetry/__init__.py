@@ -24,6 +24,24 @@ lifecycle phases are ``lifecycle.phase.<name>`` under a
 ``lifecycle.session`` root.
 """
 
+from repro.telemetry.distributed import (
+    LOST_WORKER_SPAN,
+    AssembledTrace,
+    CoordinatorSpanExporter,
+    CriticalPath,
+    JobSpanExporter,
+    TraceContext,
+    assemble_trace,
+    batch_trace_context,
+    critical_path,
+    derive_span_id,
+    derive_trace_id,
+    read_span_records,
+    render_critical_path,
+    span_from_record,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
 from repro.telemetry.exporters import (
     parse_prometheus,
     profile_snapshot,
@@ -81,21 +99,32 @@ __all__ = [
     "BYTES_BUCKETS",
     "GAS_BUCKETS",
     "LATENCY_BUCKETS_S",
+    "LOST_WORKER_SPAN",
     "MAX_LABEL_SETS",
     "QUANTILE_POINTS",
     "REGISTRY",
     "TRACER",
+    "AssembledTrace",
+    "CoordinatorSpanExporter",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
+    "JobSpanExporter",
     "MetricsRegistry",
     "Profile",
     "Profiler",
     "Span",
+    "TraceContext",
     "Tracer",
     "active_profiler",
+    "assemble_trace",
+    "batch_trace_context",
     "build_span_tree",
     "counter",
+    "critical_path",
+    "derive_span_id",
+    "derive_trace_id",
     "gauge",
     "histogram",
     "parse_prometheus",
@@ -103,13 +132,18 @@ __all__ = [
     "profile_to_collapsed",
     "profiled",
     "profiled_function",
+    "read_span_records",
     "registry_from_events",
     "registry_samples",
+    "render_critical_path",
     "render_profile_tree",
     "render_span_tree",
     "reset",
     "snapshot",
+    "span_from_record",
     "spans_from_events",
+    "to_chrome_trace",
     "to_prometheus",
     "tracer",
+    "validate_chrome_trace",
 ]

@@ -74,6 +74,14 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                     f"{metric.name}{_format_labels(labels)} "
                     f"{_format_value(child.value)}"
                 )
+                # Exemplars ride as comment lines (OpenMetrics-flavored),
+                # which `parse_prometheus` skips — round-trips stay exact.
+                exemplar = getattr(child, "exemplar", None)
+                if exemplar:
+                    lines.append(
+                        f"# EXEMPLAR {metric.name}{_format_labels(labels)} "
+                        f"{_format_labels(exemplar)}"
+                    )
         elif isinstance(metric, Histogram):
             for labels, child in metric.children():
                 cumulative = child.cumulative_counts()

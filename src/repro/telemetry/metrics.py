@@ -183,18 +183,27 @@ class _Metric:
 
 
 class _CounterChild:
-    __slots__ = ("value",)
+    __slots__ = ("value", "exemplar")
 
     def __init__(self) -> None:
         self.value = 0.0
+        #: Optional exemplar labels (e.g. ``{"trace_id": …}``) linking this
+        #: series to the trace that last contributed to it.  Carried through
+        #: snapshots and emitted as ``# EXEMPLAR`` exposition comments so
+        #: a BENCH regression points at the distributed trace behind it.
+        self.exemplar: Optional[dict[str, str]] = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise TelemetryError("counters only go up")
         self.value += amount
 
+    def set_exemplar(self, **labels: object) -> None:
+        self.exemplar = {name: str(value) for name, value in labels.items()}
+
     def _zero(self) -> None:
         self.value = 0.0
+        self.exemplar = None
 
 
 class Counter(_Metric):
@@ -207,6 +216,10 @@ class Counter(_Metric):
 
     def inc(self, amount: float = 1.0) -> None:
         self._default_child().inc(amount)
+
+    def set_exemplar(self, **labels: object) -> None:
+        """Exemplar on the unlabeled child (labeled: use ``.labels(...)``)."""
+        self._default_child().set_exemplar(**labels)
 
     def value(self, **labels: object) -> float:
         """Current value for one declared label set, summed across every
@@ -533,6 +546,8 @@ class MetricsRegistry:
                     sample = {"labels": declared, "value": child.value}
                     if context:
                         sample["context"] = context
+                    if getattr(child, "exemplar", None):
+                        sample["exemplar"] = dict(child.exemplar)
                     samples.append(sample)
             entry["samples"] = samples
             out.append(entry)
@@ -565,6 +580,8 @@ class MetricsRegistry:
                         child = (metric.labels(**sample["labels"])
                                  if labelnames else metric._default_child())
                     child.value = float(sample["value"])
+                    if sample.get("exemplar"):
+                        child.exemplar = dict(sample["exemplar"])
             elif kind == "gauge":
                 metric = registry.gauge(entry["name"], entry.get("help", ""),
                                         labelnames=labelnames)

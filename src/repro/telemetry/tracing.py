@@ -104,6 +104,11 @@ class Tracer:
         #: Called with every finished span (the marketplace publishes them
         #: as ``span.end`` events); None means spans stay in-process only.
         self.on_finish: Optional[Callable[[Span], None]] = None
+        #: Secondary finish hooks (:meth:`add_exporter`).  Unlike
+        #: ``on_finish`` — which ``Marketplace.__init__`` *overwrites* —
+        #: exporters compose: the distributed span exporter registers here
+        #: so building a marketplace mid-job cannot silently detach it.
+        self.exporters: list[Callable[[Span], None]] = []
         self.finished: deque[Span] = deque(maxlen=max_finished)
         #: Ambient attributes merged under every opened span's own
         #: attributes (the marketplace sets ``session_id`` here for the
@@ -121,6 +126,38 @@ class Tracer:
     @property
     def depth(self) -> int:
         return len(self._stack)
+
+    def add_exporter(self, exporter: Callable[[Span], None]) -> None:
+        """Attach a secondary finish hook (idempotent)."""
+        if exporter not in self.exporters:
+            self.exporters.append(exporter)
+
+    def remove_exporter(self, exporter: Callable[[Span], None]) -> None:
+        """Detach a hook added with :meth:`add_exporter` (tolerant)."""
+        try:
+            self.exporters.remove(exporter)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def scoped_context(self, **entries: Any) -> Iterator[None]:
+        """Set ambient context entries for the ``with`` body only.
+
+        Restores the previous value (or absence) of every entry on exit —
+        including when an exception escapes the span stack, which the bare
+        ``self.context[key] = value`` idiom this replaces did not guarantee
+        at call sites without their own try/finally.
+        """
+        saved = {key: self.context[key] for key in entries
+                 if key in self.context}
+        missing = [key for key in entries if key not in self.context]
+        self.context.update(entries)
+        try:
+            yield
+        finally:
+            self.context.update(saved)
+            for key in missing:
+                self.context.pop(key, None)
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
@@ -152,16 +189,27 @@ class Tracer:
             self.finished.append(span)
             if self.on_finish is not None:
                 self.on_finish(span)
+            for exporter in tuple(self.exporters):
+                exporter(span)
 
     def spans_named(self, prefix: str) -> list[Span]:
         """Finished spans whose name starts with ``prefix`` (test helper)."""
         return [s for s in self.finished if s.name.startswith(prefix)]
 
     def reset(self) -> None:
-        """Drop finished spans and any dangling stack (test isolation)."""
+        """Drop finished spans and any dangling stack (test isolation).
+
+        The local id counter restarts too: after a reset, span ids within
+        one unit of work (a batch job, a benchmark run) are a deterministic
+        function of the work itself, not of process history — which is what
+        lets the distributed exporter derive stable cross-process ids from
+        them.  Exporters stay attached across resets for the same reason
+        per-job ``telemetry.reset()`` must not detach the batch exporter.
+        """
         self.finished.clear()
         self._stack.clear()
         self.context.clear()
+        self._ids = itertools.count(1)
 
 
 #: The process-wide default tracer every instrumented subsystem uses.

@@ -292,3 +292,85 @@ class TestGossipCommand:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["messages_dropped"] > 0
+
+
+@pytest.fixture(scope="module")
+def batch_root(tmp_path_factory):
+    """One small chaos batch shared by the trace/top/spans CLI tests."""
+    root = str(tmp_path_factory.mktemp("cli-batch") / "batch")
+    assert main(["batch", "submit", root, "--jobs", "4", "--workers", "2",
+                 "--kill-worker-after", "1"]) == 0
+    return root
+
+
+class TestTraceOpsCommands:
+    def test_new_commands_parse(self):
+        parser = build_parser()
+        for argv in (["top", "some/root", "--watch", "2",
+                      "--slo-settled", "0.9"],
+                     ["batch", "trace", "some/root", "--chrome", "x.json"],
+                     ["spans", "trace.jsonl", "--trace", "abc",
+                      "--session", "s"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_top_panel(self, batch_root, capsys):
+        assert main(["top", batch_root]) == 0
+        output = capsys.readouterr().out
+        assert f"batch {batch_root}" in output
+        assert "status=done" in output
+        assert "slo: settled=1.000" in output
+        assert "worker_deaths=1" in output
+
+    def test_top_json_snapshot(self, batch_root, capsys):
+        assert main(["top", batch_root, "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        snap = payload["snapshot"]
+        assert snap["batch_status"] == "done"
+        assert snap["jobs"] == 4
+        assert snap["worker_deaths"] == 1
+        assert len(snap["trace_id"]) == 32
+
+    def test_batch_trace_report(self, batch_root, capsys):
+        assert main(["batch", "trace", batch_root]) == 0
+        output = capsys.readouterr().out
+        assert "completeness: 1.000" in output
+        assert "orphans: 0" in output
+        assert "critical path — trace" in output
+
+    def test_batch_trace_chrome_export(self, batch_root, tmp_path, capsys):
+        out_path = str(tmp_path / "chrome.json")
+        assert main(["batch", "trace", batch_root,
+                     "--chrome", out_path]) == 0
+        capsys.readouterr()
+        import json as _json
+        with open(out_path, encoding="utf-8") as handle:
+            doc = _json.load(handle)
+        assert doc["otherData"]["format"] == "pds2-chrome-trace/1"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_batch_trace_json_mode(self, batch_root, capsys):
+        assert main(["batch", "trace", batch_root, "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["completeness"] == 1.0
+        assert payload["orphans"] == 0
+        assert payload["lost_workers"] == 1
+
+    def test_spans_reads_batch_directory(self, batch_root, capsys):
+        assert main(["spans", batch_root]) == 0
+        output = capsys.readouterr().out
+        assert "batch.execute" in output
+        assert "batch.job" in output
+
+    def test_spans_trace_filter(self, batch_root, capsys):
+        assert main(["spans", batch_root, "--trace", "0" * 32]) == 1
+        capsys.readouterr()
+
+    def test_spans_reads_sidecar_file(self, batch_root, capsys):
+        import os as _os
+        sidecars = sorted(_os.listdir(_os.path.join(batch_root, "spans")))
+        assert main(["spans",
+                     _os.path.join(batch_root, "spans", sidecars[-1])]) == 0
+        assert "batch.job" in capsys.readouterr().out

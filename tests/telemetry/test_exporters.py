@@ -149,3 +149,81 @@ class TestEventReplay:
         assert registry.get("pds2_gas_used_total").value(phase="deploy") == 500
         assert registry.get("pds2_events_by_phase_total").value(
             phase="execute") == 1
+
+
+class TestExemplarExposition:
+    def test_exemplar_rides_as_comment_and_parse_ignores_it(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("pds2_jobs_total", "jobs", ("outcome",))
+        child = jobs.labels(outcome="settled")
+        child.inc(5)
+        child.set_exemplar(trace_id="abc123")
+        text = to_prometheus(registry)
+        assert ('# EXEMPLAR pds2_jobs_total{outcome="settled"} '
+                '{trace_id="abc123"}') in text
+        # Comment lines must not disturb the numeric round trip.
+        assert parse_prometheus(text) == registry_samples(registry)
+
+    def test_no_exemplar_no_comment(self):
+        registry = MetricsRegistry()
+        registry.counter("pds2_jobs_total", "jobs").inc()
+        assert "# EXEMPLAR" not in to_prometheus(registry)
+
+
+class TestProfileFlameTree:
+    def _profile(self):
+        from repro.telemetry.profiler import Profile
+        return Profile(
+            mode="calls",
+            samples={
+                ("span:batch.job", "region:outer", "region:inner",
+                 "mod.f"): 6,
+                ("span:batch.job", "region:outer", "mod.g"): 3,
+                ("mod.h",): 1,
+            },
+            total_samples=10,
+            attributed_samples=9,
+        )
+
+    def test_nested_profiled_regions_render_nested(self):
+        from repro.telemetry.exporters import render_profile_tree
+        tree = render_profile_tree(self._profile(), min_percent=0.0)
+        lines = tree.splitlines()
+        outer = next(i for i, l in enumerate(lines)
+                     if "region:outer" in l)
+        inner = next(i for i, l in enumerate(lines)
+                     if "region:inner" in l)
+        assert inner > outer
+        # Inner region is indented one level deeper than its parent.
+        assert (lines[inner].index("region:inner")
+                > lines[outer].index("region:outer"))
+        assert "9 (90.0%)" in lines[outer]
+        assert "6 (60.0%)" in lines[inner]
+
+    def test_collapsed_round_trips_nested_regions(self):
+        from repro.telemetry.exporters import profile_to_collapsed
+        collapsed = profile_to_collapsed(self._profile())
+        assert ("span:batch.job;region:outer;region:inner;mod.f 6"
+                in collapsed)
+        assert collapsed == profile_to_collapsed(self._profile())
+
+    def test_live_nested_regions_reach_the_flame_tree(self):
+        from repro.telemetry.exporters import render_profile_tree
+        from repro.telemetry.profiler import Profiler, profiled
+
+        def spin(n):
+            total = 0
+            for i in range(n):
+                total += i * i
+            return total
+
+        tracer = Tracer()
+        with Profiler(mode="calls", call_interval=2, trace=tracer) as prof:
+            with tracer.span("batch.job"):
+                with profiled("region.outer"):
+                    with profiled("region.inner"):
+                        spin(4000)
+        tree = render_profile_tree(prof.result(), min_percent=0.0)
+        assert "span:batch.job" in tree
+        assert "region:region.outer" in tree
+        assert "region:region.inner" in tree

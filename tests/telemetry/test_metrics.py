@@ -197,3 +197,36 @@ class TestSnapshotRoundTrip:
     def test_wrong_format_marker_rejected(self):
         with pytest.raises(TelemetryError, match="snapshot"):
             MetricsRegistry.from_snapshot({"format": "nope", "metrics": []})
+
+
+class TestCounterExemplars:
+    def test_exemplar_set_and_snapshot_round_trip(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        jobs = registry.counter("pds2_jobs_total", "jobs", ("outcome",))
+        child = jobs.labels(outcome="settled")
+        child.inc(3)
+        child.set_exemplar(trace_id="abc123")
+        snap = registry.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(snap)
+        restored = rebuilt.get("pds2_jobs_total").labels(outcome="settled")
+        assert restored.value == 3
+        assert restored.exemplar == {"trace_id": "abc123"}
+
+    def test_unlabeled_counter_exemplar(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        deaths = registry.counter("pds2_worker_deaths_total", "deaths")
+        deaths.inc()
+        deaths.set_exemplar(trace_id="feed")
+        (sample,) = registry.snapshot()["metrics"][0]["samples"]
+        assert sample["exemplar"] == {"trace_id": "feed"}
+
+    def test_reset_clears_exemplars(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        jobs = registry.counter("pds2_jobs_total", "jobs")
+        jobs.inc()
+        jobs.set_exemplar(trace_id="abc")
+        registry.reset()
+        assert jobs._default_child().exemplar is None

@@ -164,3 +164,86 @@ class TestBuildSpanTree:
         roots, children = build_span_tree([orphan])
         assert roots == [orphan]
         assert not children
+
+
+class TestScopedContext:
+    def test_entries_live_only_inside_the_block(self, tracer):
+        with tracer.scoped_context(session_id="s1"):
+            with tracer.span("inner") as span:
+                pass
+            assert tracer.context == {"session_id": "s1"}
+        assert "session_id" not in tracer.context
+        assert span.attributes["session_id"] == "s1"
+
+    def test_previous_value_restored(self, tracer):
+        tracer.context["session_id"] = "outer"
+        with tracer.scoped_context(session_id="inner"):
+            assert tracer.context["session_id"] == "inner"
+        assert tracer.context["session_id"] == "outer"
+
+    def test_restored_even_when_exception_escapes(self, tracer):
+        # Regression: the bare ``context[key] = value`` idiom this replaced
+        # leaked the entry into every later span when the body raised.
+        with pytest.raises(RuntimeError):
+            with tracer.scoped_context(session_id="doomed"):
+                raise RuntimeError("boom")
+        assert "session_id" not in tracer.context
+        with tracer.span("after") as span:
+            pass
+        assert "session_id" not in span.attributes
+
+    def test_nested_scopes_unwind_in_order(self, tracer):
+        with tracer.scoped_context(a=1):
+            with tracer.scoped_context(a=2, b=3):
+                assert tracer.context == {"a": 2, "b": 3}
+            assert tracer.context == {"a": 1}
+        assert tracer.context == {}
+
+
+class TestExporters:
+    def test_exporter_sees_every_finished_span(self, tracer):
+        seen = []
+        tracer.add_exporter(seen.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in seen] == ["inner", "outer"]
+
+    def test_exporter_runs_after_on_finish(self, tracer):
+        order = []
+        tracer.on_finish = lambda s: order.append("on_finish")
+        tracer.add_exporter(lambda s: order.append("exporter"))
+        with tracer.span("x"):
+            pass
+        assert order == ["on_finish", "exporter"]
+
+    def test_duplicate_add_is_ignored_and_remove_is_tolerant(self, tracer):
+        seen = []
+        tracer.add_exporter(seen.append)
+        tracer.add_exporter(seen.append)
+        with tracer.span("x"):
+            pass
+        assert len(seen) == 1
+        tracer.remove_exporter(seen.append)
+        tracer.remove_exporter(seen.append)  # already gone: no raise
+        with tracer.span("y"):
+            pass
+        assert len(seen) == 1
+
+    def test_exporters_survive_reset(self, tracer):
+        # Per-job ``telemetry.reset()`` must not detach the batch exporter.
+        seen = []
+        tracer.add_exporter(seen.append)
+        tracer.reset()
+        with tracer.span("x"):
+            pass
+        assert [s.name for s in seen] == ["x"]
+
+    def test_reset_restarts_local_span_ids(self, tracer):
+        with tracer.span("x") as first:
+            pass
+        tracer.reset()
+        with tracer.span("y") as again:
+            pass
+        assert first.span_id == "sp-000001"
+        assert again.span_id == "sp-000001"
