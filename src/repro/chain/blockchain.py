@@ -21,12 +21,23 @@ from repro.chain import gas as gas_schedule
 from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import ContractRegistry, default_registry
+from repro.chain.mempool import Mempool
+from repro.chain.parallel import (
+    DEFAULT_LANES,
+    execute_parallel,
+    execute_serial,
+)
 from repro.chain.state import WorldState
 from repro.chain.transaction import CREATE, LogEntry, Receipt, Transaction
 from repro.chain.vm import VM, BlockContext
-from repro.crypto.ecdsa import PrivateKey
+from repro.crypto.ecdsa import PrivateKey, batch_verify
 from repro.crypto.hashing import keccak256
-from repro.errors import ChainError, InvalidBlockError, InvalidTransactionError
+from repro.errors import (
+    ChainError,
+    DuplicateTransactionError,
+    InvalidBlockError,
+    InvalidTransactionError,
+)
 from repro.telemetry import metrics as _tm
 from repro.telemetry.tracing import tracer as _tracer
 
@@ -59,17 +70,33 @@ class Blockchain:
     def __init__(self, consensus: ProofOfAuthority,
                  registry: Optional[ContractRegistry] = None,
                  genesis_alloc: Optional[dict[str, int]] = None,
-                 block_gas_limit: int = gas_schedule.BLOCK_GAS_LIMIT):
+                 block_gas_limit: int = gas_schedule.BLOCK_GAS_LIMIT,
+                 verify_mode: str = "submit",
+                 execution: str = "serial",
+                 parallel_lanes: int = DEFAULT_LANES):
+        if verify_mode not in ("submit", "mined"):
+            raise ValueError("verify_mode must be 'submit' or 'mined'")
+        if execution not in ("serial", "parallel"):
+            raise ValueError("execution must be 'serial' or 'parallel'")
         self.consensus = consensus
         self.registry = registry if registry is not None else default_registry()
         self.vm = VM(registry=self.registry)
         self.state = WorldState()
         self.block_gas_limit = block_gas_limit
+        #: ``"submit"`` verifies each signature eagerly at intake (the
+        #: historical behavior); ``"mined"`` defers to one amortized batch
+        #: verification over all transactions entering a block.
+        self.verify_mode = verify_mode
+        #: ``"serial"`` applies block transactions in order on one thread;
+        #: ``"parallel"`` overlaps non-conflicting transactions and falls
+        #: back to serial whenever equivalence is in doubt.
+        self.execution = execution
+        self.parallel_lanes = parallel_lanes
         for address, amount in (genesis_alloc or {}).items():
             self.state.credit(address, amount)
         self.blocks: list[Block] = []
         self._receipts: dict[bytes, Receipt] = {}
-        self.pending: list[Transaction] = []
+        self.mempool = Mempool()
         #: Cumulative gas over all sealed blocks, maintained at mine time so
         #: gas accounting is O(1) instead of a rescan of the whole chain.
         self.total_gas_used = 0
@@ -132,19 +159,88 @@ class Blockchain:
 
     # -- transaction intake and mining ----------------------------------------------
 
+    @property
+    def pending(self) -> list[Transaction]:
+        """Snapshot of the pooled transactions (sender chains nonce-ordered)."""
+        return list(self.mempool)
+
     def submit(self, tx: Transaction) -> bytes:
-        """Add a signed transaction to the pending pool; returns its hash."""
+        """Admit a signed transaction to the mempool; returns its hash.
+
+        Rejects duplicates of both *pooled* and *already mined* transactions
+        — resubmitting a mined hash used to mint a synthetic failure receipt
+        that overwrote the original success receipt.  In ``verify_mode
+        "submit"`` the signature is checked here; in ``"mined"`` it is
+        deferred to the amortized batch verification at block entry.
+        """
         tx.validate_shape()
-        tx.verify_signature()
-        self.pending.append(tx)
+        if tx.tx_hash in self._receipts:
+            raise DuplicateTransactionError(
+                f"transaction {tx.tx_hash.hex()} was already mined"
+            )
+        if self.verify_mode == "submit":
+            tx.verify_signature()
+        self.mempool.add(tx, self.state.nonce_of(tx.sender))
         return tx.tx_hash
 
-    def mine_block(self, timestamp: Optional[float] = None) -> Block:
-        """Seal all pending transactions into the next block.
+    def _verify_block_batch(self, selected: list[Transaction],
+                            number: int) -> list[Transaction]:
+        """Batch-verify signatures of the block's transactions.
 
-        Transactions that fail *admission* (bad nonce, unaffordable) are
-        dropped with a synthetic failed receipt; transactions that revert
-        during execution are still included, as on Ethereum.
+        One multi-scalar multiplication covers the whole batch; bisection
+        inside :func:`~repro.crypto.ecdsa.batch_verify` isolates any bad
+        signatures, which get failed receipts while the rest of their
+        sender's chain goes back to the pool (a later nonce cannot run once
+        its predecessor is dropped).  Returns the transactions to execute.
+        """
+        with _tracer().span("chain.verify_batch",
+                            transactions=len(selected)) as span:
+            errors: dict[int, str] = {}
+            items = []
+            item_indices = []
+            for index, tx in enumerate(selected):
+                if tx.signature is None or tx.public_key is None:
+                    errors[index] = "transaction is unsigned"
+                elif tx.public_key.address != tx.sender:
+                    errors[index] = "public key does not match the sender address"
+                else:
+                    items.append((tx.public_key, tx.signing_bytes(),
+                                  tx.signature))
+                    item_indices.append(index)
+            verdicts = batch_verify(items) if items else []
+            for index, good in zip(item_indices, verdicts):
+                if not good:
+                    errors[index] = "invalid transaction signature"
+            failed_senders: set[str] = set()
+            to_execute: list[Transaction] = []
+            for index, tx in enumerate(selected):
+                if tx.sender in failed_senders:
+                    self.mempool.requeue(tx)
+                    continue
+                error = errors.get(index)
+                if error is None:
+                    to_execute.append(tx)
+                    continue
+                if tx.tx_hash not in self._receipts:
+                    self._receipts[tx.tx_hash] = Receipt(
+                        tx_hash=tx.tx_hash, status=False, gas_used=0,
+                        error=f"rejected: {error}", block_number=number,
+                    )
+                _TXS_REJECTED.inc()
+                failed_senders.add(tx.sender)
+            span.set_attribute("invalid", len(errors))
+        return to_execute
+
+    def mine_block(self, timestamp: Optional[float] = None) -> Block:
+        """Seal the best pending transactions into the next block.
+
+        The mempool hands over sender chains in nonce order, highest gas
+        price first, packing by gas-limit reservation — a chain whose head
+        does not fit is deferred whole.  Transactions that fail *admission*
+        (bad nonce, unaffordable) are dropped with a synthetic failed
+        receipt and the rest of their sender's chain returns to the pool;
+        transactions that revert during execution are still included, as on
+        Ethereum.
         """
         number = self.height + 1
         proposer = self.consensus.proposer_for(number)
@@ -157,33 +253,36 @@ class Blockchain:
             validator=proposer.address,
         )
         with _tracer().span("chain.mine_block", height=number) as span:
-            included: list[Transaction] = []
-            gas_used = 0
-            gas_reserved = 0
-            pool, self.pending = self.pending, []
-            for tx in pool:
-                # Pack by gas-limit reservation, as miners do: a transaction
-                # may use up to its limit, so the worst case must fit the
-                # block.
-                if gas_reserved + tx.gas_limit > self.block_gas_limit:
-                    self.pending.append(tx)  # leave for the next block
-                    continue
-                gas_reserved += tx.gas_limit
-                tx_hash = tx.tx_hash
-                try:
-                    receipt = self.vm.apply_transaction(
-                        self.state, block_ctx, tx
+            selected = self.mempool.select(
+                self.state.nonce_of, self.block_gas_limit
+            )
+            skip_signature = self.verify_mode == "mined"
+            if skip_signature and selected:
+                selected = self._verify_block_batch(selected, number)
+            if self.execution == "parallel":
+                execution = execute_parallel(
+                    self.vm, self.state, block_ctx, selected,
+                    skip_signature=skip_signature, lanes=self.parallel_lanes,
+                )
+            else:
+                execution = execute_serial(
+                    self.vm, self.state, block_ctx, selected,
+                    skip_signature=skip_signature,
+                )
+            for tx, error in execution.rejected:
+                # Never overwrite a mined receipt with a synthetic failure
+                # (the duplicate-submission clobber this layer used to have).
+                if tx.tx_hash not in self._receipts:
+                    self._receipts[tx.tx_hash] = Receipt(
+                        tx_hash=tx.tx_hash, status=False, gas_used=0,
+                        error=f"rejected: {error}", block_number=number,
                     )
-                except ChainError as exc:
-                    self._receipts[tx_hash] = Receipt(
-                        tx_hash=tx_hash, status=False, gas_used=0,
-                        error=f"rejected: {exc}", block_number=number,
-                    )
-                    _TXS_REJECTED.inc()
-                    continue
-                self._receipts[tx_hash] = receipt
-                included.append(tx)
-                gas_used += receipt.gas_used
+                _TXS_REJECTED.inc()
+            for tx in execution.deferred:
+                self.mempool.requeue(tx)
+            self._receipts.update(execution.receipts)
+            included = execution.included
+            gas_used = execution.gas_used
             header = BlockHeader(
                 number=number,
                 parent_hash=self.head.block_hash,
@@ -275,13 +374,13 @@ class Wallet:
         return self.chain.state.balance_of(self.address)
 
     def _next_nonce(self) -> int:
-        # Chain nonce plus the number of our transactions still in the pool.
-        # Recomputing from scratch keeps the wallet correct even after a
-        # transaction of ours was rejected at admission.
-        pending_from_us = sum(
-            1 for tx in self.chain.pending if tx.sender == self.address
+        # End of our contiguous pooled nonce run — an O(queue) lookup in the
+        # mempool instead of a linear scan of the whole pool.  Correct under
+        # replace-by-fee (the replacement keeps its nonce slot) and after an
+        # admission failure left a gap: the gap nonce is the one to reuse.
+        return self.chain.mempool.next_nonce(
+            self.address, self.chain.state.nonce_of(self.address)
         )
-        return self.chain.state.nonce_of(self.address) + pending_from_us
 
     def _build(self, to: Optional[str], value: int, payload: dict,
                gas_limit: int) -> Transaction:

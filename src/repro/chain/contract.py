@@ -20,6 +20,7 @@ role of compiled bytecode.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.chain import gas as gas_schedule
@@ -38,16 +39,29 @@ class Contract:
     def __init__(self) -> None:
         self.storage: dict = {}
         self.address: str = ""
-        self._ctx: "ExecutionContext | None" = None
+        # Execution contexts are per *thread*, not per instance: under the
+        # parallel engine two lanes may call into the same contract (the
+        # conflict validator decides afterwards whether that was legal), and
+        # each must see its own call context.
+        self._ctx_tls = threading.local()
 
     # -- execution context ----------------------------------------------------
 
     @property
+    def _ctx(self) -> "ExecutionContext | None":
+        return getattr(self._ctx_tls, "value", None)
+
+    @_ctx.setter
+    def _ctx(self, value: "ExecutionContext | None") -> None:
+        self._ctx_tls.value = value
+
+    @property
     def ctx(self) -> "ExecutionContext":
         """The context of the call currently executing on this contract."""
-        if self._ctx is None:
+        ctx = getattr(self._ctx_tls, "value", None)
+        if ctx is None:
             raise ContractError("contract accessed outside a transaction")
-        return self._ctx
+        return ctx
 
     def setup(self, **args: Any) -> None:
         """Constructor body, run once inside the deploying transaction."""
@@ -59,17 +73,19 @@ class Contract:
 
         Charges :data:`~repro.chain.gas.STORAGE_READ`.  Raises
         :class:`ContractError` when the slot is missing and no ``default``
-        was provided.
+        was provided.  Under the parallel engine the returned value is a
+        *snapshot*: mutate it and write it back with :meth:`swrite` (the
+        idiom every contract here uses); in-place mutation without a
+        write-back is unsupported.
         """
-        self.ctx.charge(gas_schedule.STORAGE_READ)
-        node: Any = self.storage
-        for key in path:
-            if not isinstance(node, dict) or key not in node:
-                if default is _MISSING:
-                    raise ContractError(f"storage slot {'/'.join(path)} is empty")
-                return default
-            node = node[key]
-        return node
+        ctx = self.ctx
+        ctx.charge(gas_schedule.STORAGE_READ)
+        found, value = ctx.storage_read(self, path)
+        if not found:
+            if default is _MISSING:
+                raise ContractError(f"storage slot {'/'.join(path)} is empty")
+            return default
+        return value
 
     def swrite(self, value: Any, *path: str) -> None:
         """Write a storage slot, creating intermediate dicts as needed.
@@ -79,30 +95,35 @@ class Contract:
         """
         if not path:
             raise ContractError("storage writes need a non-empty path")
-        self.ctx.require_writable()
-        self.ctx.charge(gas_schedule.STORAGE_WRITE)
-        node = self.storage
-        for key in path[:-1]:
-            node = node.setdefault(key, {})
-            if not isinstance(node, dict):
-                raise ContractError(
-                    f"storage path {'/'.join(path)} crosses a non-dict slot"
-                )
-        node[path[-1]] = value
+        ctx = self.ctx
+        ctx.require_writable()
+        ctx.charge(gas_schedule.STORAGE_WRITE)
+        ctx.storage_write(self, path, value)
 
     def sdelete(self, *path: str) -> None:
         """Delete a storage slot if present (charged as a write)."""
         if not path:
             raise ContractError("storage deletes need a non-empty path")
-        self.ctx.require_writable()
-        self.ctx.charge(gas_schedule.STORAGE_WRITE)
-        node: Any = self.storage
-        for key in path[:-1]:
-            if not isinstance(node, dict) or key not in node:
-                return
-            node = node[key]
-        if isinstance(node, dict):
-            node.pop(path[-1], None)
+        ctx = self.ctx
+        ctx.require_writable()
+        ctx.charge(gas_schedule.STORAGE_WRITE)
+        ctx.storage_delete(self, path)
+
+    # -- parallel-scheduling hints ---------------------------------------------
+
+    @classmethod
+    def access_hints(cls, method: str, args: dict,
+                     sender: str) -> "list[tuple[str, ...]] | None":
+        """Predicted storage paths ``method(**args)`` may touch, or None.
+
+        Used by the parallel engine to *group* transactions before running
+        them; correctness never depends on the prediction (recorded actual
+        access sets are validated afterwards), so hints only need to be good,
+        not sound.  None means "assume the whole contract", which serializes
+        all transactions targeting it.  Token contracts override this with
+        slot-level hints so transfers between disjoint accounts parallelize.
+        """
+        return None
 
     # -- events, guards, compute ------------------------------------------------
 
@@ -131,7 +152,7 @@ class Contract:
         """Names of externally callable methods (public, not framework)."""
         framework = {
             "setup", "sread", "swrite", "sdelete", "emit", "require", "step",
-            "external_methods", "ctx", "storage", "address",
+            "external_methods", "ctx", "storage", "address", "access_hints",
         }
         names = set()
         for name in dir(cls):

@@ -1,0 +1,378 @@
+"""Block execution engines: serial and optimistic-parallel application.
+
+The parallel engine applies non-conflicting transactions concurrently while
+guaranteeing results **byte-identical** to serial execution:
+
+1. *Predicted* access paths per transaction (sender account, target account,
+   the target contract's :meth:`~repro.chain.contract.Contract.access_hints`
+   or, absent hints, the whole contract) feed a union-find that groups
+   potentially conflicting transactions.  Same-sender transactions always
+   share a group via ``("acct", sender)``, preserving nonce order.
+2. Groups are pinned to execution lanes by account-range sharding
+   (:func:`~repro.chain.state.shard_of` of the group's anchor address) and
+   run on a thread pool — serial in block order within a group, concurrent
+   across lanes.  Each transaction runs under a per-thread
+   :class:`~repro.chain.state.AccessTracker` and write journal.
+3. The *recorded* access sets are validated after the fact: any cross-group
+   pair of paths where one is a prefix of the other and at least one side
+   wrote is a conflict.  Prediction is best-effort; this validation is what
+   correctness rests on.  On conflict — or any unexpected exception, or any
+   transaction reading the validator's account — the engine restores the
+   block-start snapshot and re-runs everything serially.
+4. Validator fees are deferred into a per-transaction fee sink and credited
+   in serial commit order at block end (an inline credit would conflict
+   every transaction on the validator account).  Deferral is invisible
+   unless someone *reads* the validator account mid-block, which is exactly
+   the fallback trigger above.
+
+Both engines implement the same admission policy: a transaction that fails
+block admission (bad nonce, unaffordable) is rejected with an error string,
+and the same sender's **later transactions are deferred back to the pool**
+instead of being run into certain ``bad nonce`` failures — the fix for the
+chain-drop bug the flat pending list had.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chain.state import AccessTracker, WorldState, shard_of
+from repro.chain.transaction import CREATE, Receipt, Transaction
+from repro.chain.vm import VM, BlockContext
+from repro.errors import ChainError
+from repro.telemetry import metrics as _tm
+
+#: Default number of execution lanes for the parallel engine.
+DEFAULT_LANES = 4
+
+_PARALLEL_BLOCKS = _tm.counter(
+    "pds2_chain_parallel_blocks_total",
+    "Blocks executed by the parallel engine, by outcome",
+    labelnames=("outcome",),  # parallel | fallback
+)
+_PARALLEL_FALLBACKS = _tm.counter(
+    "pds2_chain_parallel_fallbacks_total",
+    "Parallel executions replayed serially, by reason",
+    labelnames=("reason",),  # conflict | exception | validator_read
+)
+_PARALLEL_GROUPS = _tm.histogram(
+    "pds2_chain_parallel_groups",
+    "Independent conflict groups per parallel block",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+
+
+@dataclass
+class BlockExecution:
+    """Outcome of applying one block's worth of transactions."""
+
+    #: Transactions included in the block, in commit order.
+    included: list[Transaction] = field(default_factory=list)
+    #: Receipt per included transaction hash.
+    receipts: dict[bytes, Receipt] = field(default_factory=dict)
+    #: Admission failures: ``(tx, error message)`` — the chain writes the
+    #: synthetic failed receipt (it owns receipt bookkeeping).
+    rejected: list[tuple[Transaction, str]] = field(default_factory=list)
+    #: Transactions to put back in the pool (sender chain behind a failure).
+    deferred: list[Transaction] = field(default_factory=list)
+    gas_used: int = 0
+    #: Conflict groups the parallel engine found (0 for the serial engine).
+    groups: int = 0
+    #: True when a parallel run was abandoned and replayed serially.
+    fell_back: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Serial engine
+# ---------------------------------------------------------------------------
+
+
+def execute_serial(vm: VM, state: WorldState, block: BlockContext,
+                   txs: list[Transaction], *,
+                   skip_signature: bool = False) -> BlockExecution:
+    """Apply ``txs`` in order on the calling thread."""
+    result = BlockExecution()
+    failed_senders: set[str] = set()
+    for tx in txs:
+        if tx.sender in failed_senders:
+            result.deferred.append(tx)
+            continue
+        try:
+            receipt = vm.apply_transaction(
+                state, block, tx, skip_signature=skip_signature
+            )
+        except ChainError as exc:
+            result.rejected.append((tx, str(exc)))
+            failed_senders.add(tx.sender)
+            continue
+        result.receipts[tx.tx_hash] = receipt
+        result.included.append(tx)
+        result.gas_used += receipt.gas_used
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Conflict grouping (predicted) and validation (recorded)
+# ---------------------------------------------------------------------------
+
+
+def _anchor_address(tx: Transaction) -> str:
+    """The address a transaction is 'about', for lane sharding."""
+    if tx.to is CREATE:
+        return VM.contract_address_for(tx.sender, tx.nonce)
+    return tx.to or tx.sender
+
+
+def predicted_paths(state: WorldState, tx: Transaction) -> set[tuple]:
+    """Best-effort prediction of the state paths ``tx`` may touch.
+
+    Used only for grouping; the recorded sets are validated afterwards, so
+    an optimistic (too narrow) prediction costs a serial replay, never
+    correctness.
+    """
+    paths: set[tuple] = {("acct", tx.sender)}
+    if tx.to is CREATE:
+        address = VM.contract_address_for(tx.sender, tx.nonce)
+        paths.update(
+            {("acct", address), ("code", address), ("store", address)}
+        )
+        return paths
+    paths.add(("acct", tx.to))
+    contract = state.contracts.get(tx.to)
+    if contract is None or not tx.payload:
+        return paths
+    paths.add(("code", tx.to))
+    method = tx.payload.get("method")
+    args = tx.payload.get("args", {})
+    hints = None
+    if isinstance(method, str) and isinstance(args, dict):
+        try:
+            hints = type(contract).access_hints(method, args, tx.sender)
+        except Exception:
+            hints = None
+    if hints is None:
+        paths.add(("store", tx.to))
+    else:
+        for hint in hints:
+            paths.add(("store", tx.to) + tuple(hint))
+    return paths
+
+
+class _UnionFind:
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Lower index wins so group identity follows block order.
+            if rb < ra:
+                ra, rb = rb, ra
+            self.parent[rb] = ra
+
+
+def _group_transactions(state: WorldState,
+                        txs: list[Transaction]) -> list[list[int]]:
+    """Partition tx indices into predicted conflict groups (block order)."""
+    uf = _UnionFind(len(txs))
+    exact: dict[tuple, int] = {}
+    cover: dict[tuple, set[int]] = {}
+    for index, tx in enumerate(txs):
+        paths = predicted_paths(state, tx)
+        for path in paths:
+            # Transactions whose full predicted path is a prefix of ours.
+            for cut in range(1, len(path) + 1):
+                holder = exact.get(path[:cut])
+                if holder is not None:
+                    uf.union(index, holder)
+            # Transactions with a longer predicted path underneath ours.
+            for holder in cover.get(path, ()):
+                uf.union(index, holder)
+        for path in paths:
+            exact[path] = index
+            for cut in range(1, len(path)):
+                cover.setdefault(path[:cut], set()).add(index)
+    groups: dict[int, list[int]] = {}
+    for index in range(len(txs)):
+        groups.setdefault(uf.find(index), []).append(index)
+    return [groups[root] for root in sorted(groups)]
+
+
+def _recorded_sets_conflict(
+        per_group: list[list[tuple[tuple, bool]]]) -> bool:
+    """True when two groups' *recorded* access sets overlap with a write.
+
+    Each entry is ``(path, wrote)``; overlap means one path is a prefix of
+    the other (or equal).  Single pass with check-then-insert over an exact
+    index (full paths) and a cover index (every strict prefix).
+    """
+    exact: dict[tuple, dict[int, bool]] = {}
+    cover: dict[tuple, dict[int, bool]] = {}
+    for group_id, accesses in enumerate(per_group):
+        for path, wrote in accesses:
+            for cut in range(1, len(path) + 1):
+                holders = exact.get(path[:cut])
+                if holders:
+                    for other, other_wrote in holders.items():
+                        if other != group_id and (wrote or other_wrote):
+                            return True
+            holders = cover.get(path)
+            if holders:
+                for other, other_wrote in holders.items():
+                    if other != group_id and (wrote or other_wrote):
+                        return True
+        for path, wrote in accesses:
+            slot = exact.setdefault(path, {})
+            slot[group_id] = slot.get(group_id, False) or wrote
+            for cut in range(1, len(path)):
+                slot = cover.setdefault(path[:cut], {})
+                slot[group_id] = slot.get(group_id, False) or wrote
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Parallel engine
+# ---------------------------------------------------------------------------
+
+
+class _FallbackNeeded(Exception):
+    """Internal: abandon the parallel attempt and replay serially."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def execute_parallel(vm: VM, state: WorldState, block: BlockContext,
+                     txs: list[Transaction], *,
+                     skip_signature: bool = False,
+                     lanes: int = DEFAULT_LANES) -> BlockExecution:
+    """Apply ``txs`` concurrently where the conflict analysis allows.
+
+    Commit order (receipts, fee credits, inclusion order) is the serial
+    block order regardless of execution interleaving; any doubt about
+    equivalence triggers a snapshot-restore and a serial replay.
+    """
+    if len(txs) < 2 or lanes <= 1:
+        return execute_serial(vm, state, block, txs,
+                              skip_signature=skip_signature)
+    groups = _group_transactions(state, txs)
+    if len(groups) < 2:
+        # Everything predicted-conflicts into one group: nothing to overlap.
+        result = execute_serial(vm, state, block, txs,
+                                skip_signature=skip_signature)
+        result.groups = 1
+        return result
+    snapshot = state.snapshot()
+    try:
+        outcomes, trackers = _run_groups(
+            vm, state, block, txs, groups,
+            skip_signature=skip_signature, lanes=lanes,
+        )
+        _validate(trackers, groups, block.validator)
+    except _FallbackNeeded as fallback:
+        state.restore(snapshot)
+        _PARALLEL_FALLBACKS.labels(reason=fallback.reason).inc()
+        _PARALLEL_BLOCKS.labels(outcome="fallback").inc()
+        result = execute_serial(vm, state, block, txs,
+                                skip_signature=skip_signature)
+        result.fell_back = True
+        return result
+    # Commit: receipts and fees in serial block order.
+    result = BlockExecution(groups=len(groups))
+    for index, tx in enumerate(txs):
+        kind, payload = outcomes[index]
+        if kind == "ok":
+            receipt, fee = payload
+            state.credit(block.validator, fee)
+            result.receipts[tx.tx_hash] = receipt
+            result.included.append(tx)
+            result.gas_used += receipt.gas_used
+        elif kind == "rejected":
+            result.rejected.append((tx, payload))
+        else:
+            result.deferred.append(tx)
+    _PARALLEL_BLOCKS.labels(outcome="parallel").inc()
+    _PARALLEL_GROUPS.observe(len(groups))
+    return result
+
+
+def _run_groups(vm: VM, state: WorldState, block: BlockContext,
+                txs: list[Transaction], groups: list[list[int]], *,
+                skip_signature: bool,
+                lanes: int) -> tuple[dict, dict]:
+    """Execute groups on sharded lanes; returns per-tx outcomes/trackers."""
+    lane_work: dict[int, list[list[int]]] = {}
+    for group in groups:
+        lane = shard_of(_anchor_address(txs[group[0]]), lanes)
+        lane_work.setdefault(lane, []).append(group)
+    outcomes: dict[int, tuple] = {}
+    trackers: dict[int, AccessTracker] = {}
+
+    def run_lane(lane_groups: list[list[int]]) -> None:
+        for group in lane_groups:
+            failed_senders: set[str] = set()
+            for index in group:
+                tx = txs[index]
+                if tx.sender in failed_senders:
+                    outcomes[index] = ("deferred", None)
+                    continue
+                tracker = AccessTracker()
+                state.begin_tx(tracker)
+                fees: list[int] = []
+                try:
+                    receipt = vm.apply_transaction(
+                        state, block, tx, skip_signature=skip_signature,
+                        isolation="journal", fee_sink=fees,
+                    )
+                except ChainError as exc:
+                    outcomes[index] = ("rejected", str(exc))
+                    failed_senders.add(tx.sender)
+                finally:
+                    state.end_tx()
+                trackers[index] = tracker
+                if index not in outcomes:
+                    outcomes[index] = ("ok", (receipt, fees[0] if fees else 0))
+
+    with ThreadPoolExecutor(max_workers=min(lanes, len(lane_work))) as pool:
+        futures = [pool.submit(run_lane, work)
+                   for work in lane_work.values()]
+        errors = [f.exception() for f in futures]
+    if any(errors):
+        raise _FallbackNeeded("exception")
+    return outcomes, trackers
+
+
+def _validate(trackers: dict[int, AccessTracker], groups: list[list[int]],
+              validator: str) -> None:
+    """Raise :class:`_FallbackNeeded` unless parallel == serial provably."""
+    validator_acct = ("acct", validator)
+    per_group: list[list[tuple[tuple, bool]]] = []
+    for group in groups:
+        accesses: list[tuple[tuple, bool]] = []
+        for index in group:
+            tracker = trackers.get(index)
+            if tracker is None:
+                continue
+            if validator_acct in tracker.reads:
+                # Fee deferral changes what a mid-block read of the
+                # validator's balance sees; only serial is faithful then.
+                raise _FallbackNeeded("validator_read")
+            for path in tracker.writes:
+                accesses.append((path, True))
+            for path in tracker.reads - tracker.writes:
+                accesses.append((path, False))
+        per_group.append(accesses)
+    if _recorded_sets_conflict(per_group):
+        raise _FallbackNeeded("conflict")

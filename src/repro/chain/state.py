@@ -4,16 +4,155 @@ The state object supports deep snapshots so the VM can roll back every effect
 of a reverted call — the property the governance layer's audit guarantees
 rest on.  Contract *instances* survive a rollback (they are identity-stable);
 only their ``storage`` dicts are restored.
+
+For the parallel transaction engine the state additionally supports a
+*thread-local transaction context*: an :class:`AccessTracker` recording the
+read/write path set of the transaction executing on the current thread, and a
+:class:`WriteJournal` — a per-transaction undo log that replaces the O(state)
+deep snapshot with an O(writes) revert.  Both are opt-in: with no context
+attached (the default, and the serial engine's mode) every accessor behaves
+exactly as before.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from repro.chain.contract import Contract
 from repro.crypto.hashing import hash_object
 from repro.errors import InsufficientBalanceError, UnknownContractError
+
+#: Sentinel for "slot absent" in journal pre-images.
+_ABSENT = object()
+
+
+def shard_of(address: str, shards: int) -> int:
+    """Account-range shard of ``address``: first two address bytes mod shards.
+
+    The parallel engine uses this to pin conflict groups to execution lanes,
+    so transactions landing in the same account range (ERC-20/721 hot
+    accounts, busy contracts) serialize on one lane instead of contending.
+    """
+    if shards <= 1:
+        return 0
+    try:
+        return int(address[2:6], 16) % shards
+    except (ValueError, TypeError):
+        return 0
+
+
+class AccessTracker:
+    """Read/write path sets recorded while one transaction executes.
+
+    Paths are tuples: ``("acct", address)`` for account balance/nonce,
+    ``("code", address)`` for contract existence, and
+    ``("store", address, *slot_path)`` for storage slots.  Two paths touch
+    the same state iff one is a prefix of the other; the parallel engine
+    treats any cross-group prefix overlap involving a write as a conflict.
+    """
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: set[tuple] = set()
+        self.writes: set[tuple] = set()
+
+
+class WriteJournal:
+    """Undo log for one transaction's state mutations.
+
+    Each mutation appends a record *before* it is applied; :meth:`revert`
+    replays the records in reverse.  Storage writes that create intermediate
+    dicts record the topmost *newly created* node so revert removes it
+    wholesale — leftover empty dicts would diverge the state root from a
+    never-executed baseline.
+    """
+
+    __slots__ = ("state", "records")
+
+    def __init__(self, state: "WorldState") -> None:
+        self.state = state
+        self.records: list[tuple] = []
+
+    # -- recording hooks (called by WorldState/ExecutionContext) ----------
+
+    def record_balance(self, address: str) -> None:
+        self.records.append(
+            ("balance", address, self.state.balances.get(address, _ABSENT))
+        )
+
+    def record_nonce(self, address: str) -> None:
+        self.records.append(
+            ("nonce", address, self.state.nonces.get(address, _ABSENT))
+        )
+
+    def record_contract(self, address: str) -> None:
+        self.records.append(("contract", address))
+
+    def record_slot(self, contract: Contract, path: tuple,
+                    parent: dict, created: Optional[tuple]) -> None:
+        """Record one storage-slot write.
+
+        ``parent`` is the dict holding the leaf key; ``created`` is the path
+        of the topmost intermediate dict this write created (None when the
+        whole path already existed).
+        """
+        if created is not None:
+            # Reverting the created node removes the leaf with it.
+            self.records.append(("mknode", contract, created))
+            return
+        old = parent.get(path[-1], _ABSENT)
+        if old is not _ABSENT and isinstance(old, (dict, list)):
+            old = copy.deepcopy(old)
+        self.records.append(("slot", contract, path, old))
+
+    # -- revert ------------------------------------------------------------
+
+    def revert(self) -> None:
+        state = self.state
+        for record in reversed(self.records):
+            kind = record[0]
+            if kind == "balance":
+                _, address, old = record
+                if old is _ABSENT:
+                    state.balances.pop(address, None)
+                else:
+                    state.balances[address] = old
+            elif kind == "nonce":
+                _, address, old = record
+                if old is _ABSENT:
+                    state.nonces.pop(address, None)
+                else:
+                    state.nonces[address] = old
+            elif kind == "slot":
+                _, contract, path, old = record
+                node: Any = contract.storage
+                for key in path[:-1]:
+                    if not isinstance(node, dict) or key not in node:
+                        node = None
+                        break
+                    node = node[key]
+                if isinstance(node, dict):
+                    if old is _ABSENT:
+                        node.pop(path[-1], None)
+                    else:
+                        node[path[-1]] = old
+            elif kind == "mknode":
+                _, contract, created = record
+                node = contract.storage
+                for key in created[:-1]:
+                    if not isinstance(node, dict) or key not in node:
+                        node = None
+                        break
+                    node = node[key]
+                if isinstance(node, dict):
+                    node.pop(created[-1], None)
+            elif kind == "contract":
+                state.contracts.pop(record[1], None)
+        self.records.clear()
 
 
 @dataclass
@@ -33,27 +172,73 @@ class WorldState:
     nonces: dict[str, int] = field(default_factory=dict)
     contracts: dict[str, Contract] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Thread-local transaction context: each engine thread attaches its
+        # own tracker/journal, so concurrent transactions record into their
+        # own structures without any locking.
+        self._tls = threading.local()
+
+    # -- per-thread transaction context ---------------------------------------
+
+    @property
+    def tx_tracker(self) -> Optional[AccessTracker]:
+        """The access tracker of the transaction on this thread (or None)."""
+        return getattr(self._tls, "tracker", None)
+
+    @property
+    def tx_journal(self) -> Optional[WriteJournal]:
+        """The write journal of the transaction on this thread (or None)."""
+        return getattr(self._tls, "journal", None)
+
+    def begin_tx(self, tracker: Optional[AccessTracker]) -> None:
+        """Attach an access tracker to this thread's transaction."""
+        self._tls.tracker = tracker
+
+    def attach_journal(self, journal: Optional[WriteJournal]) -> None:
+        """Attach a write journal to this thread's transaction."""
+        self._tls.journal = journal
+
+    def end_tx(self) -> None:
+        """Detach this thread's tracker and journal."""
+        self._tls.tracker = None
+        self._tls.journal = None
+
     # -- balances -------------------------------------------------------------
 
     def balance_of(self, address: str) -> int:
         """Current base-currency balance of ``address`` (0 if untouched)."""
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.reads.add(("acct", address))
         return self.balances.get(address, 0)
 
     def credit(self, address: str, amount: int) -> None:
         """Add ``amount`` to an account balance."""
         if amount < 0:
             raise ValueError("credit amount must be non-negative")
-        self.balances[address] = self.balance_of(address) + amount
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.writes.add(("acct", address))
+        journal = getattr(self._tls, "journal", None)
+        if journal is not None:
+            journal.record_balance(address)
+        self.balances[address] = self.balances.get(address, 0) + amount
 
     def debit(self, address: str, amount: int) -> None:
         """Remove ``amount`` from an account, raising if it overdraws."""
         if amount < 0:
             raise ValueError("debit amount must be non-negative")
-        balance = self.balance_of(address)
+        balance = self.balances.get(address, 0)
         if balance < amount:
             raise InsufficientBalanceError(
                 f"{address} holds {balance}, cannot pay {amount}"
             )
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.writes.add(("acct", address))
+        journal = getattr(self._tls, "journal", None)
+        if journal is not None:
+            journal.record_balance(address)
         self.balances[address] = balance - amount
 
     def transfer(self, sender: str, recipient: str, amount: int) -> None:
@@ -65,16 +250,28 @@ class WorldState:
 
     def nonce_of(self, address: str) -> int:
         """The next expected transaction nonce for ``address``."""
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.reads.add(("acct", address))
         return self.nonces.get(address, 0)
 
     def bump_nonce(self, address: str) -> None:
         """Advance the account's nonce after accepting a transaction."""
-        self.nonces[address] = self.nonce_of(address) + 1
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.writes.add(("acct", address))
+        journal = getattr(self._tls, "journal", None)
+        if journal is not None:
+            journal.record_nonce(address)
+        self.nonces[address] = self.nonces.get(address, 0) + 1
 
     # -- contracts ------------------------------------------------------------
 
     def contract_at(self, address: str) -> Contract:
         """The contract deployed at ``address`` or raise UnknownContractError."""
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.reads.add(("code", address))
         contract = self.contracts.get(address)
         if contract is None:
             raise UnknownContractError(f"no contract at {address}")
@@ -82,12 +279,22 @@ class WorldState:
 
     def has_contract(self, address: str) -> bool:
         """True when a contract is deployed at ``address``."""
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.reads.add(("code", address))
         return address in self.contracts
 
     def install_contract(self, address: str, contract: Contract) -> None:
         """Bind a freshly constructed contract instance to ``address``."""
         if address in self.contracts:
             raise UnknownContractError(f"address {address} already occupied")
+        tracker = getattr(self._tls, "tracker", None)
+        if tracker is not None:
+            tracker.writes.add(("code", address))
+            tracker.writes.add(("store", address))
+        journal = getattr(self._tls, "journal", None)
+        if journal is not None:
+            journal.record_contract(address)
         contract.address = address
         self.contracts[address] = contract
 

@@ -15,12 +15,13 @@ transaction; any write attempt inside a static call reverts.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.chain import gas as gas_schedule
 from repro.chain.contract import ContractRegistry
-from repro.chain.state import WorldState
+from repro.chain.state import WorldState, WriteJournal
 from repro.chain.transaction import CREATE, LogEntry, Receipt, Transaction
 from repro.crypto.hashing import keccak256
 from repro.errors import (
@@ -34,6 +35,9 @@ from repro.telemetry.profiler import profiled_function
 
 #: Depth limit for nested cross-contract calls.
 MAX_CALL_DEPTH = 64
+
+#: Sentinel for "no child node" during storage navigation.
+_NO_NODE = object()
 
 # VM telemetry: per-transaction application outcome and gas distribution.
 # Spans stop at the mine_block level — a per-tx span would dominate the
@@ -108,6 +112,73 @@ class ExecutionContext:
         """Base-currency balance lookup (charged as a storage read)."""
         self.charge(gas_schedule.STORAGE_READ)
         return self._state.balance_of(address)
+
+    # -- contract storage (navigation + access recording + journaling) -------
+
+    def storage_read(self, contract, path: tuple) -> tuple[bool, Any]:
+        """Navigate a storage path; returns ``(found, value)``.
+
+        Records the read in the thread's access tracker.  When a write
+        journal is active (parallel engine), mutable values are returned as
+        deep copies: the governance contracts mutate read results in place
+        before writing them back, and a live reference would both leak
+        cross-thread aliasing and make the journal's pre-images lies.
+        """
+        state = self._state
+        tracker = state.tx_tracker
+        if tracker is not None:
+            tracker.reads.add(("store", contract.address) + tuple(path))
+        node: Any = contract.storage
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return False, None
+            node = node[key]
+        if state.tx_journal is not None and isinstance(node, (dict, list)):
+            node = copy.deepcopy(node)
+        return True, node
+
+    def storage_write(self, contract, path: tuple, value: Any) -> None:
+        """Write a storage slot, creating intermediate dicts as needed."""
+        state = self._state
+        tracker = state.tx_tracker
+        if tracker is not None:
+            tracker.writes.add(("store", contract.address) + tuple(path))
+        journal = state.tx_journal
+        node = contract.storage
+        created: Any = None
+        for depth, key in enumerate(path[:-1]):
+            child = node.get(key, _NO_NODE)
+            if child is _NO_NODE:
+                if created is None:
+                    created = tuple(path[:depth + 1])
+                child = {}
+                node[key] = child
+            elif not isinstance(child, dict):
+                raise ContractError(
+                    f"storage path {'/'.join(path)} crosses a non-dict slot"
+                )
+            node = child
+        if journal is not None:
+            journal.record_slot(contract, tuple(path), node, created)
+        node[path[-1]] = value
+
+    def storage_delete(self, contract, path: tuple) -> None:
+        """Delete a storage slot if present."""
+        state = self._state
+        tracker = state.tx_tracker
+        if tracker is not None:
+            tracker.writes.add(("store", contract.address) + tuple(path))
+        journal = state.tx_journal
+        node: Any = contract.storage
+        for key in path[:-1]:
+            if not isinstance(node, dict) or key not in node:
+                return
+            node = node[key]
+        if not isinstance(node, dict) or path[-1] not in node:
+            return
+        if journal is not None:
+            journal.record_slot(contract, tuple(path), node, None)
+        node.pop(path[-1], None)
 
     def transfer(self, recipient: str, amount: int) -> None:
         """Move base currency out of the *current contract's* balance."""
@@ -197,10 +268,24 @@ class VM:
 
     @profiled_function("chain.apply_transaction")
     def apply_transaction(self, state: WorldState, block: BlockContext,
-                          tx: Transaction) -> Receipt:
-        """Run the full state transition for one transaction."""
+                          tx: Transaction, *, skip_signature: bool = False,
+                          isolation: str = "snapshot",
+                          fee_sink: Optional[list[int]] = None) -> Receipt:
+        """Run the full state transition for one transaction.
+
+        ``skip_signature`` skips the per-transaction signature check — the
+        chain sets it after a block-entry batch verification already vouched
+        for the signature.  ``isolation="journal"`` replaces the O(state)
+        revert snapshot with a per-transaction write journal (the parallel
+        engine's mode; semantics are identical).  ``fee_sink``, when given,
+        receives the validator fee instead of the validator account being
+        credited inline — the parallel engine credits fees in commit order
+        at block end, since the inline credit would make every transaction
+        conflict on the validator account.
+        """
         tx.validate_shape()
-        tx.verify_signature()
+        if not skip_signature:
+            tx.verify_signature()
         if state.nonce_of(tx.sender) != tx.nonce:
             raise InvalidTransactionError(
                 f"bad nonce: expected {state.nonce_of(tx.sender)}, got {tx.nonce}"
@@ -216,30 +301,47 @@ class VM:
 
         meter = GasMeter(tx.gas_limit)
         logs: list[LogEntry] = []
-        snapshot = state.snapshot()
+        journal: Optional[WriteJournal] = None
+        snapshot = None
+        if isolation == "journal":
+            journal = WriteJournal(state)
+            state.attach_journal(journal)
+        else:
+            snapshot = state.snapshot()
         receipt = Receipt(tx_hash=tx.tx_hash, status=True, gas_used=0)
         try:
-            meter.charge(tx.intrinsic_gas)
-            if tx.to is CREATE:
-                receipt.contract_address = self._deploy(
-                    state, block, tx, meter, logs
-                )
-            else:
-                receipt.return_value = self._call_top(
-                    state, block, tx, meter, logs
-                )
-        except (ContractError, OutOfGasError) as exc:
-            state.restore(snapshot)
-            receipt.status = False
-            receipt.error = str(exc)
-            if isinstance(exc, OutOfGasError):
-                meter.used = meter.limit
+            try:
+                meter.charge(tx.intrinsic_gas)
+                if tx.to is CREATE:
+                    receipt.contract_address = self._deploy(
+                        state, block, tx, meter, logs
+                    )
+                else:
+                    receipt.return_value = self._call_top(
+                        state, block, tx, meter, logs
+                    )
+            except (ContractError, OutOfGasError) as exc:
+                if journal is not None:
+                    journal.revert()
+                else:
+                    state.restore(snapshot)
+                receipt.status = False
+                receipt.error = str(exc)
+                receipt.contract_address = None
+                if isinstance(exc, OutOfGasError):
+                    meter.used = meter.limit
+        finally:
+            if journal is not None:
+                state.attach_journal(None)
         receipt.gas_used = min(meter.used, meter.limit)
         receipt.logs = logs if receipt.status else []
         # Refund unused gas; pay the validator for what was burned.
         refund = (tx.gas_limit - receipt.gas_used) * tx.gas_price
         state.credit(tx.sender, refund)
-        state.credit(block.validator, receipt.gas_used * tx.gas_price)
+        if fee_sink is None:
+            state.credit(block.validator, receipt.gas_used * tx.gas_price)
+        else:
+            fee_sink.append(receipt.gas_used * tx.gas_price)
         receipt.block_number = block.number
         _TX_APPLIED.labels(status="ok" if receipt.status else "reverted").inc()
         _TX_GAS_HIST.observe(receipt.gas_used)

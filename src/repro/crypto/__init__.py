@@ -26,6 +26,7 @@ from repro.crypto.ecdsa import (
     PrivateKey,
     PublicKey,
     Signature,
+    batch_verify,
     shared_secret,
     verify_with_address,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "PrivateKey",
     "PublicKey",
     "Signature",
+    "batch_verify",
     "shared_secret",
     "verify_with_address",
     "MerkleProof",

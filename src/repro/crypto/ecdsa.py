@@ -360,6 +360,159 @@ def shared_secret(private_key: PrivateKey, public_key: PublicKey) -> bytes:
     return keccak256(b"ecdh" + point[0].to_bytes(32, "big"))
 
 
+# -- amortized batch verification --------------------------------------------
+#
+# A valid ECDSA signature satisfies ``R = u1·G + u2·Q`` where ``R`` is the
+# nonce point the signer committed to via ``r = R.x mod n``.  Given the parity
+# bit ``v`` the nonce point can be *recovered* from ``(r, v)``, which turns
+# the per-signature check into a point equation; a random linear combination
+# of many such equations then collapses a whole block's verification into a
+# single multi-scalar multiplication (Shamir's trick at batch width):
+#
+#     Σ aᵢ·u1ᵢ · G  +  Σ aᵢ·u2ᵢ · Qᵢ  −  Σ aᵢ · Rᵢ  =  𝒪
+#
+# with independent 128-bit coefficients ``aᵢ``.  A forged signature makes the
+# combination miss the point at infinity except with probability ~2⁻¹²⁸, and
+# because the coefficients are derived deterministically from the batch
+# content (keccak), the whole check is reproducible.  On failure the batch is
+# bisected to isolate the culprits; singletons fall back to the individual
+# :meth:`PublicKey.verify`, which remains the authoritative oracle.
+
+#: Coefficient width for the random linear combination (bits of soundness).
+_BATCH_COEFF_BITS = 128
+
+
+def _recover_nonce_point(r: int, v: int) -> _Point:
+    """Recover the signer's nonce point from ``(r, v)``.
+
+    ``r`` is ``R.x mod n``; since ``n < p`` the x coordinate is ``r`` or
+    (with probability ~2⁻¹²⁸) ``r + n``.  ``v`` picks the y parity.  Returns
+    None when neither candidate is a curve x-coordinate — no valid signature
+    can exist for such an ``r``, but callers still route that case through
+    the individual oracle rather than deciding here.
+    """
+    for x in (r, r + N):
+        if x >= P:
+            continue
+        rhs = (x * x * x + B) % P
+        y = pow(rhs, (P + 1) // 4, P)  # works because P ≡ 3 (mod 4)
+        if y * y % P != rhs:
+            continue
+        if (y & 1) != (v & 1):
+            y = P - y
+        return (x, y)
+    return None
+
+
+def _batch_equation_holds(entries: list[tuple[int, int, _Point, _Point]]) -> bool:
+    """Evaluate the random-linear-combination equation over ``entries``.
+
+    Each entry is ``(u1, u2, Q, R)``.  Coefficients are 128-bit values
+    derived from a keccak commitment to the whole sub-batch, so a signer
+    cannot grind a signature against coefficients chosen before seeing it.
+    """
+    commitment = keccak256(b"".join(
+        q[0].to_bytes(32, "big") + q[1].to_bytes(32, "big")
+        + r_pt[0].to_bytes(32, "big") + r_pt[1].to_bytes(32, "big")
+        + u1.to_bytes(32, "big") + u2.to_bytes(32, "big")
+        for u1, u2, q, r_pt in entries
+    ))
+    base_scalar = 0
+    pairs: list[tuple[int, _Point]] = []
+    for index, (u1, u2, q, r_pt) in enumerate(entries):
+        coeff = int.from_bytes(
+            keccak256(commitment + index.to_bytes(4, "big"))[
+                :_BATCH_COEFF_BITS // 8
+            ],
+            "big",
+        ) | 1  # force odd so no coefficient degenerates to zero
+        base_scalar = (base_scalar + coeff * u1) % N
+        pairs.append((coeff * u2 % N, q))
+        # −aᵢ·Rᵢ as aᵢ·(−Rᵢ): the coefficient stays 128 bits, so the R
+        # stream needs no GLV split — half the additions of an N − aᵢ run.
+        pairs.append((coeff, (r_pt[0], P - r_pt[1])))
+    return ec_backend.multi_scalar_mult(base_scalar, pairs) is None
+
+
+def batch_verify(
+    items: list[tuple[PublicKey, bytes, Signature]],
+) -> list[bool]:
+    """Verify many ``(public_key, message, signature)`` triples at once.
+
+    Agrees with :meth:`PublicKey.verify` on every input — same range and
+    low-s policy, same LRU cache (hits are honored, outcomes are written
+    back) — but amortizes the curve work across the batch: one multi-scalar
+    multiplication when every signature is good, O(log n) sub-batch checks
+    plus individual verifies to isolate the bad ones otherwise.  Items whose
+    nonce point cannot be recovered from ``(r, v)`` (corrupted parity bit,
+    non-residue x) are verified individually; the individual path is always
+    the authoritative oracle.
+    """
+    verdicts: list[Optional[bool]] = [None] * len(items)
+    singles: list[int] = []
+    batch: list[tuple[int, int, int, _Point, _Point]] = []  # (idx, u1, u2, Q, R)
+    cache_keys: list[Optional[tuple[int, int, int, int, int]]] = [None] * len(items)
+    for index, (public_key, message, signature) in enumerate(items):
+        r, s = signature.r, signature.s
+        if not (1 <= r < N and 1 <= s < N) or s > N // 2:
+            verdicts[index] = False
+            _VERIFY_TOTAL.labels(cached="no", outcome="fail").inc()
+            continue
+        digest = hash_to_int(message, N)
+        cache_key = (public_key.x, public_key.y, digest, r, s)
+        cached = _VERIFY_CACHE.get(cache_key)
+        if cached is not None:
+            _VERIFY_CACHE.move_to_end(cache_key)
+            _VERIFY_TOTAL.labels(
+                cached="yes", outcome="ok" if cached else "fail"
+            ).inc()
+            verdicts[index] = cached
+            continue
+        cache_keys[index] = cache_key
+        nonce_point = _recover_nonce_point(r, signature.v)
+        if nonce_point is None:
+            singles.append(index)
+            continue
+        s_inv = _inverse_mod(s, N)
+        batch.append((
+            index,
+            digest * s_inv % N,
+            r * s_inv % N,
+            (public_key.x, public_key.y),
+            nonce_point,
+        ))
+
+    began = _time.perf_counter()
+
+    def resolve(entries: list[tuple[int, int, int, _Point, _Point]]) -> None:
+        if not entries:
+            return
+        if len(entries) == 1:
+            singles.append(entries[0][0])
+            return
+        if _batch_equation_holds([entry[1:] for entry in entries]):
+            for entry in entries:
+                verdicts[entry[0]] = True
+            return
+        mid = len(entries) // 2
+        resolve(entries[:mid])
+        resolve(entries[mid:])
+
+    resolve(batch)
+    if batch:
+        _VERIFY_SECONDS.observe(_time.perf_counter() - began)
+    for index, verdict in enumerate(verdicts):
+        if verdict and cache_keys[index] is not None:
+            _VERIFY_TOTAL.labels(cached="batch", outcome="ok").inc()
+            _VERIFY_CACHE[cache_keys[index]] = True
+            if len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+                _VERIFY_CACHE.popitem(last=False)
+    for index in singles:
+        public_key, message, signature = items[index]
+        verdicts[index] = public_key.verify(message, signature)
+    return [bool(verdict) for verdict in verdicts]
+
+
 def verify_with_address(address: str, message: bytes, signature: Signature,
                         public_key: PublicKey) -> bool:
     """Verify a signature and check the key actually controls ``address``.

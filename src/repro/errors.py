@@ -55,6 +55,14 @@ class InvalidTransactionError(ChainError):
     """A transaction is malformed, unsigned, or replayed (bad nonce)."""
 
 
+class DuplicateTransactionError(InvalidTransactionError):
+    """A transaction with this hash is already pooled or already mined."""
+
+
+class UnderpricedReplacementError(InvalidTransactionError):
+    """A same-nonce replacement did not raise the gas price enough."""
+
+
 class InsufficientBalanceError(ChainError):
     """An account cannot cover a transfer value plus gas."""
 

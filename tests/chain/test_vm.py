@@ -8,6 +8,7 @@ from repro.chain.blockchain import Blockchain, Wallet
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import Contract, ContractRegistry
 from repro.chain.transaction import Transaction
+from repro.errors import DuplicateTransactionError
 from tests.conftest import make_funded_wallet
 
 
@@ -248,11 +249,14 @@ class TestNonceHandling:
         ).sign(wallet.key)
         vm_chain.submit(tx)
         vm_chain.mine_block()
-        # Submit the identical transaction again.
+        # The identical transaction (same hash) is refused at intake — it
+        # must never reach the pool, let alone clobber the mined receipt.
         replay = Transaction(
             sender=wallet.address, nonce=tx.nonce, to=recipient, value=10,
         ).sign(wallet.key)
-        vm_chain.submit(replay)
+        assert replay.tx_hash == tx.tx_hash
+        with pytest.raises(DuplicateTransactionError):
+            vm_chain.submit(replay)
         vm_chain.mine_block()
         assert vm_chain.state.balance_of(recipient) == 10
-        assert not vm_chain.receipt_for(replay.tx_hash).status
+        assert vm_chain.receipt_for(tx.tx_hash).status

@@ -1,0 +1,184 @@
+"""Batch signature verification: multi-scalar differential + bisection.
+
+Two layers are under test here.  ``ec_backend.multi_scalar_mult`` is checked
+differentially against the affine oracle retained in :mod:`repro.crypto.ecdsa`
+(sums of ``_point_mul`` results).  ``ecdsa.batch_verify`` is checked for
+*agreement with the individual verifier* — the authoritative oracle — on
+all-good batches, corrupted batches, malformed scalars, flipped parity bits,
+and cache interactions.  The bisection sweep runs ≥20 seeds with exactly one
+corrupted signature each, asserting only that signature is rejected.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import ec_backend
+from repro.crypto.ec_backend import GX, GY, N, multi_scalar_mult
+from repro.crypto.ecdsa import (
+    _VERIFY_CACHE,
+    PrivateKey,
+    Signature,
+    _point_add,
+    _point_mul,
+    _recover_nonce_point,
+    batch_verify,
+)
+
+G = (GX, GY)
+
+_RANDOM = random.Random(0xBA7C4)
+
+
+def random_scalar() -> int:
+    return _RANDOM.randrange(1, N)
+
+
+def _oracle_msm(base_scalar, pairs):
+    total = _point_mul(base_scalar, G)
+    for scalar, point in pairs:
+        total = _point_add(total, _point_mul(scalar, point))
+    return total
+
+
+class TestMultiScalarMult:
+    def test_differential_against_oracle(self):
+        points = [_point_mul(k, G) for k in (0xACE, 0xBEEF, 0xC0DE, 0xF00D)]
+        for _ in range(10):
+            base = random_scalar()
+            pairs = [(random_scalar(), point) for point in points]
+            assert multi_scalar_mult(base, pairs) == _oracle_msm(base, pairs)
+
+    def test_degenerate_inputs(self):
+        q = _point_mul(77, G)
+        assert multi_scalar_mult(5, []) == _point_mul(5, G)
+        assert multi_scalar_mult(0, []) is None
+        assert multi_scalar_mult(0, [(9, q)]) == _point_mul(9 * 77, G)
+        assert multi_scalar_mult(3, [(0, q), (N, q), (4, None)]) == \
+            _point_mul(3, G)
+
+    def test_cancellation_to_infinity(self):
+        q = _point_mul(7, G)
+        # 7·21·G − 3·49·G = 0 arranged as base + two point streams.
+        assert multi_scalar_mult(
+            147, [(N - 21, q), (0, q)]
+        ) is None
+
+    def test_single_pair_matches_double_mult(self):
+        q = _point_mul(0xDEAD, G)
+        u1, u2 = random_scalar(), random_scalar()
+        assert multi_scalar_mult(u1, [(u2, q)]) == \
+            ec_backend.double_scalar_mult_base(u1, u2, q)
+
+    def test_fallback_without_glv_matches(self, monkeypatch):
+        points = [_point_mul(k, G) for k in (11, 13, 17)]
+        base = random_scalar()
+        pairs = [(random_scalar(), point) for point in points]
+        with_glv = multi_scalar_mult(base, pairs)
+        monkeypatch.setattr(ec_backend, "_glv_params", lambda: None)
+        assert multi_scalar_mult(base, pairs) == with_glv
+
+    def test_wide_batch(self):
+        pairs = [(random_scalar(), _point_mul(random_scalar(), G))
+                 for _ in range(32)]
+        base = random_scalar()
+        assert multi_scalar_mult(base, pairs) == _oracle_msm(base, pairs)
+
+
+def _make_batch(seed: int, size: int):
+    """Deterministic (key, message, signature) triples for one seed."""
+    items = []
+    for index in range(size):
+        key = PrivateKey.from_seed(b"batch-%d-%d" % (seed, index))
+        message = b"payload-%d-%d" % (seed, index)
+        items.append((key.public_key, message, key.sign(message)))
+    return items
+
+
+class TestRecoverNoncePoint:
+    def test_recovers_signers_point(self):
+        for index in range(10):
+            key = PrivateKey.from_seed(b"recover-%d" % index)
+            message = b"msg-%d" % index
+            signature = key.sign(message)
+            point = _recover_nonce_point(signature.r, signature.v)
+            assert point is not None
+            assert ec_backend.is_on_curve(point)
+            assert point[0] % N == signature.r
+            assert (point[1] & 1) == signature.v
+
+    def test_non_residue_returns_none(self):
+        # x = 5 is not a curve x-coordinate on secp256k1 (5³+7 = 132 is a
+        # quadratic non-residue mod p).
+        assert _recover_nonce_point(5, 0) is None
+
+
+class TestBatchVerify:
+    def setup_method(self):
+        _VERIFY_CACHE.clear()
+
+    def test_all_good_batch(self):
+        items = _make_batch(1, 16)
+        assert batch_verify(items) == [True] * 16
+
+    def test_empty_batch(self):
+        assert batch_verify([]) == []
+
+    def test_agrees_with_individual_verifier(self):
+        items = _make_batch(2, 12)
+        # Corrupt a third of them in assorted ways.
+        pk, msg, sig = items[3]
+        items[3] = (pk, msg + b"tamper", sig)
+        pk, msg, sig = items[7]
+        items[7] = (pk, msg, Signature(r=sig.r, s=(sig.s + 1) % N or 1,
+                                       v=sig.v))
+        pk, msg, sig = items[11]
+        other = PrivateKey.from_seed(b"interloper").public_key
+        items[11] = (other, msg, sig)
+        got = batch_verify(items)
+        _VERIFY_CACHE.clear()
+        expected = [pk.verify(msg, sig) for pk, msg, sig in items]
+        assert got == expected
+        assert got[3] is False and got[7] is False and got[11] is False
+
+    def test_flipped_parity_bit_still_verifies(self):
+        # The individual verifier ignores v, so a corrupted parity bit must
+        # not change the batch outcome — it routes through the singleton
+        # fallback instead.
+        items = _make_batch(3, 6)
+        pk, msg, sig = items[2]
+        items[2] = (pk, msg, Signature(r=sig.r, s=sig.s, v=sig.v ^ 1))
+        assert batch_verify(items) == [True] * 6
+
+    def test_malformed_scalars_rejected_without_curve_math(self):
+        items = _make_batch(4, 3)
+        pk, msg, sig = items[0]
+        high_s = N - sig.s  # high-s twin: malleable duplicate
+        items[0] = (pk, msg, Signature(r=sig.r, s=high_s, v=sig.v))
+        got = batch_verify(items)
+        assert got == [False, True, True]
+
+    def test_cache_round_trip(self):
+        items = _make_batch(5, 8)
+        assert batch_verify(items) == [True] * 8
+        # Second pass must be all cache hits and still correct.
+        assert batch_verify(items) == [True] * 8
+        # Individual verifier sees the batch-written outcomes too.
+        for pk, msg, sig in items:
+            assert pk.verify(msg, sig)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_bisection_isolates_single_corruption(self, seed):
+        """≥20 seeds: exactly one corrupted signature, only it rejected."""
+        rng = random.Random(seed)
+        size = rng.randrange(5, 24)
+        items = _make_batch(100 + seed, size)
+        victim = rng.randrange(size)
+        pk, msg, sig = items[victim]
+        corrupt_r = (sig.r + rng.randrange(1, N - 1)) % N or 1
+        items[victim] = (pk, msg, Signature(r=corrupt_r, s=sig.s, v=sig.v))
+        got = batch_verify(items)
+        expected = [index != victim for index in range(size)]
+        assert got == expected
