@@ -328,8 +328,18 @@ def _smoke() -> int:
     if parallel["settled"] != count:
         print(f"FAIL: only {parallel['settled']}/{count} sessions settled")
         return 1
+    for regime, run in (("serial", serial), ("parallel", parallel)):
+        audit = run["chain"].auditor.summary()
+        if audit["violation_count"]:
+            print(f"FAIL: {audit['violation_count']} invariant "
+                  f"violation(s) in the {regime} run")
+            return 1
+        if audit["blocks_checked"] != run["blocks"]:
+            print(f"FAIL: auditor checked {audit['blocks_checked']} of "
+                  f"{run['blocks']} {regime} blocks")
+            return 1
     print("OK: state roots and receipts byte-identical, "
-          f"{count} sessions settled")
+          f"{count} sessions settled, every block audited clean")
     return 0
 
 

@@ -18,10 +18,12 @@ from typing import Any, Iterator, Optional
 import numpy as np
 
 from repro.chain import gas as gas_schedule
+from repro.chain.audit import ChainAuditor
 from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.contract import ContractRegistry, default_registry
 from repro.chain.mempool import Mempool
+from repro.chain.observe import ChainObserver
 from repro.chain.parallel import (
     DEFAULT_LANES,
     execute_parallel,
@@ -62,6 +64,11 @@ _BLOCK_GAS_HIST = _tm.histogram(
     "pds2_chain_block_gas", "Gas used per sealed block",
     buckets=_tm.GAS_BUCKETS,
 )
+_VERIFY_BATCH = _tm.counter(
+    "pds2_chain_verify_batch_total",
+    "Block-entry batch signature verifications, by outcome",
+    labelnames=("outcome",),  # clean | invalid
+)
 
 
 class Blockchain:
@@ -73,7 +80,10 @@ class Blockchain:
                  block_gas_limit: int = gas_schedule.BLOCK_GAS_LIMIT,
                  verify_mode: str = "submit",
                  execution: str = "serial",
-                 parallel_lanes: int = DEFAULT_LANES):
+                 parallel_lanes: int = DEFAULT_LANES,
+                 observe: bool = True,
+                 audit: bool = True,
+                 audit_strict: bool = False):
         if verify_mode not in ("submit", "mined"):
             raise ValueError("verify_mode must be 'submit' or 'mined'")
         if execution not in ("serial", "parallel"):
@@ -103,6 +113,19 @@ class Blockchain:
         #: Observers called with each newly sealed block (the event-bus hook
         #: the marketplace uses; the chain layer stays core-agnostic).
         self.block_observers: list[Any] = []
+        #: Hooks called ``hook(chain, block)`` right after a block seals,
+        #: *before* the auditor runs — the tamper seam the resilience
+        #: harness uses to corrupt state at a block boundary
+        #: (:func:`repro.chain.audit.install_state_corruption`).
+        self.tamper_hooks: list[Any] = []
+        #: Per-block analytics (None when built with ``observe=False``).
+        self.observer: Optional[ChainObserver] = (
+            ChainObserver(self) if observe else None
+        )
+        #: Continuous invariant auditor (None when ``audit=False``).
+        self.auditor: Optional[ChainAuditor] = (
+            ChainAuditor(self, strict=audit_strict) if audit else None
+        )
         self._seal_genesis()
 
     # -- construction --------------------------------------------------------
@@ -184,7 +207,9 @@ class Blockchain:
         return tx.tx_hash
 
     def _verify_block_batch(self, selected: list[Transaction],
-                            number: int) -> list[Transaction]:
+                            number: int,
+                            stats: Optional[dict] = None
+                            ) -> list[Transaction]:
         """Batch-verify signatures of the block's transactions.
 
         One multi-scalar multiplication covers the whole batch; bisection
@@ -207,7 +232,7 @@ class Blockchain:
                     items.append((tx.public_key, tx.signing_bytes(),
                                   tx.signature))
                     item_indices.append(index)
-            verdicts = batch_verify(items) if items else []
+            verdicts = batch_verify(items, stats) if items else []
             for index, good in zip(item_indices, verdicts):
                 if not good:
                     errors[index] = "invalid transaction signature"
@@ -229,6 +254,17 @@ class Blockchain:
                 _TXS_REJECTED.inc()
                 failed_senders.add(tx.sender)
             span.set_attribute("invalid", len(errors))
+            if stats is not None:
+                stats.setdefault("batched", 0)
+                stats.setdefault("singles", 0)
+                stats.setdefault("subchecks", 0)
+                stats.setdefault("depth", 0)
+                stats["invalid"] = len(errors)
+            child = _VERIFY_BATCH.labels(
+                outcome="invalid" if errors else "clean"
+            )
+            child.inc()
+            _tm.annotate_exemplar(child)
         return to_execute
 
     def mine_block(self, timestamp: Optional[float] = None) -> Block:
@@ -253,22 +289,34 @@ class Blockchain:
             validator=proposer.address,
         )
         with _tracer().span("chain.mine_block", height=number) as span:
-            selected = self.mempool.select(
-                self.state.nonce_of, self.block_gas_limit
-            )
+            pre_audit = self.auditor.pre_block() if self.auditor else None
+            with _tracer().span("mempool.select", height=number) as sel_span:
+                selected = self.mempool.select(
+                    self.state.nonce_of, self.block_gas_limit
+                )
+                sel_span.set_attribute("selected", len(selected))
+                sel_span.set_attribute(
+                    "deferred",
+                    self.mempool.last_selection.get("deferred", 0),
+                )
             skip_signature = self.verify_mode == "mined"
+            verify_stats: dict[str, int] = {}
             if skip_signature and selected:
-                selected = self._verify_block_batch(selected, number)
-            if self.execution == "parallel":
-                execution = execute_parallel(
-                    self.vm, self.state, block_ctx, selected,
-                    skip_signature=skip_signature, lanes=self.parallel_lanes,
-                )
-            else:
-                execution = execute_serial(
-                    self.vm, self.state, block_ctx, selected,
-                    skip_signature=skip_signature,
-                )
+                selected = self._verify_block_batch(selected, number,
+                                                    verify_stats)
+            with _tracer().span("block.execute", height=number,
+                                engine=self.execution):
+                if self.execution == "parallel":
+                    execution = execute_parallel(
+                        self.vm, self.state, block_ctx, selected,
+                        skip_signature=skip_signature,
+                        lanes=self.parallel_lanes,
+                    )
+                else:
+                    execution = execute_serial(
+                        self.vm, self.state, block_ctx, selected,
+                        skip_signature=skip_signature,
+                    )
             for tx, error in execution.rejected:
                 # Never overwrite a mined receipt with a synthetic failure
                 # (the duplicate-submission clobber this layer used to have).
@@ -302,6 +350,18 @@ class Blockchain:
             _BLOCK_GAS_HIST.observe(gas_used)
             span.set_attribute("transactions", len(included))
             span.set_attribute("gas", gas_used)
+            # Tamper seam first (fault injection corrupts *sealed* state),
+            # then analytics, then the invariant sweep — so the auditor
+            # sees exactly what the next block would build on.
+            for hook in self.tamper_hooks:
+                hook(self, block)
+            if self.observer is not None:
+                self.observer.record_block(
+                    block, execution, self.mempool.last_selection,
+                    verify_stats,
+                )
+            if self.auditor is not None:
+                self.auditor.post_block(block, execution, pre_audit)
         for observer in self.block_observers:
             observer(block)
         return block

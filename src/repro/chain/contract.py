@@ -125,6 +125,20 @@ class Contract:
         """
         return None
 
+    # -- integrity auditing ------------------------------------------------------
+
+    def audit_invariants(self, state: Any) -> list[str]:
+        """Conservation invariants the chain auditor re-checks every block.
+
+        Returns human-readable descriptions of any violated invariant
+        (empty list = healthy).  Runs *outside* any transaction — access
+        ``self.storage`` directly, never :meth:`sread` — and must not
+        mutate anything.  ``state`` is the chain's
+        :class:`~repro.chain.state.WorldState`, for invariants that relate
+        storage to account balances (e.g. escrow backing).
+        """
+        return []
+
     # -- events, guards, compute ------------------------------------------------
 
     def emit(self, name: str, **data: Any) -> None:
@@ -153,6 +167,7 @@ class Contract:
         framework = {
             "setup", "sread", "swrite", "sdelete", "emit", "require", "step",
             "external_methods", "ctx", "storage", "address", "access_hints",
+            "audit_invariants",
         }
         names = set()
         for name in dir(cls):

@@ -72,6 +72,16 @@ class Mempool:
         #: inherits the slot it replaces, so reordering cannot be bought.
         self._arrival: dict[tuple[str, int], int] = {}
         self._counter = 0
+        #: Lifetime replace-by-fee admissions (ops-plane gauge source).
+        self.replacements = 0
+        #: Lifetime whole-chain gas deferrals at selection.
+        self.deferrals = 0
+        #: Deterministic stats of the most recent :meth:`select` call —
+        #: depth before/after, selected/deferred counts, and the arrival
+        #: age (in admission-sequence units, so replayable) of every
+        #: selected transaction.  The chain observer samples this when it
+        #: builds the per-block analytics record.
+        self.last_selection: dict = {}
 
     # -- queries ---------------------------------------------------------------
 
@@ -120,12 +130,16 @@ class Mempool:
         """
         tx_hash = tx.tx_hash
         if tx_hash in self._hashes:
-            _POOL_REJECTED.labels(reason="duplicate").inc()
+            child = _POOL_REJECTED.labels(reason="duplicate")
+            child.inc()
+            _tm.annotate_exemplar(child)
             raise DuplicateTransactionError(
                 f"transaction {tx_hash.hex()} is already pending"
             )
         if tx.nonce < current_nonce:
-            _POOL_REJECTED.labels(reason="stale").inc()
+            child = _POOL_REJECTED.labels(reason="stale")
+            child.inc()
+            _tm.annotate_exemplar(child)
             raise InvalidTransactionError(
                 f"stale nonce {tx.nonce}: account {tx.sender} is at "
                 f"{current_nonce}"
@@ -135,7 +149,9 @@ class Mempool:
         if existing is not None:
             floor = existing.gas_price * (100 + REPLACEMENT_BUMP_PCT)
             if tx.gas_price * 100 < floor:
-                _POOL_REJECTED.labels(reason="underpriced").inc()
+                child = _POOL_REJECTED.labels(reason="underpriced")
+                child.inc()
+                _tm.annotate_exemplar(child)
                 raise UnderpricedReplacementError(
                     f"replacement for nonce {tx.nonce} needs gas price >= "
                     f"{-(-floor // 100)}, got {tx.gas_price}"
@@ -143,13 +159,18 @@ class Mempool:
             self._hashes.discard(existing.tx_hash)
             queue[tx.nonce] = tx
             self._hashes.add(tx_hash)
-            _POOL_ADMITTED.labels(kind="replacement").inc()
+            self.replacements += 1
+            child = _POOL_ADMITTED.labels(kind="replacement")
+            child.inc()
+            _tm.annotate_exemplar(child)
             return
         queue[tx.nonce] = tx
         self._hashes.add(tx_hash)
         self._arrival[(tx.sender, tx.nonce)] = self._counter
         self._counter += 1
-        _POOL_ADMITTED.labels(kind="new").inc()
+        child = _POOL_ADMITTED.labels(kind="new")
+        child.inc()
+        _tm.annotate_exemplar(child)
 
     def requeue(self, tx: Transaction) -> None:
         """Return a previously selected transaction to the pool unchanged.
@@ -178,6 +199,9 @@ class Mempool:
         head that does not fit defers the sender's **whole chain** to a later
         block — later nonces are never sent ahead to die on a nonce check.
         """
+        depth_before = len(self._hashes)
+        deferred = 0
+        ages: list[int] = []
         # One heap entry per sender with a selectable head.
         heads: list[tuple[int, int, str, int]] = []
         for sender, queue in self._queues.items():
@@ -198,13 +222,18 @@ class Mempool:
             if gas_reserved + tx.gas_limit > block_gas_limit:
                 # Defer this sender entirely: sending nonce n+1 without n
                 # is what used to drop whole chains with "bad nonce".
+                deferred += 1
+                self.deferrals += 1
                 _POOL_DEFERRED.inc()
+                _tm.annotate_exemplar(_POOL_DEFERRED)
                 continue
             gas_reserved += tx.gas_limit
             selected.append(tx)
             del queue[nonce]
             self._hashes.discard(tx.tx_hash)
-            self._arrival.pop((sender, nonce), None)
+            arrival = self._arrival.pop((sender, nonce), None)
+            if arrival is not None:
+                ages.append(self._counter - arrival)
             successor = queue.get(nonce + 1)
             if successor is not None:
                 heapq.heappush(
@@ -215,4 +244,15 @@ class Mempool:
             elif not queue:
                 del self._queues[sender]
         _POOL_SELECTED.inc(len(selected))
+        _tm.annotate_exemplar(_POOL_SELECTED)
+        self.last_selection = {
+            "depth_before": depth_before,
+            "depth_after": len(self._hashes),
+            "selected": len(selected),
+            "deferred": deferred,
+            "gas_reserved": gas_reserved,
+            "ages": ages,
+            "replacements_total": self.replacements,
+            "deferrals_total": self.deferrals,
+        }
         return selected

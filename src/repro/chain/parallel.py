@@ -62,6 +62,13 @@ _PARALLEL_GROUPS = _tm.histogram(
     "Independent conflict groups per parallel block",
     buckets=(1, 2, 4, 8, 16, 32, 64, 128),
 )
+_SERIAL_CAUSES = _tm.counter(
+    "pds2_chain_serial_causes_total",
+    "Blocks the parallel engine ran serially, by attributed cause",
+    # small_block | no_hints | predicted_conflict | conflict | exception
+    # | validator_read
+    labelnames=("cause",),
+)
 
 
 @dataclass
@@ -82,6 +89,25 @@ class BlockExecution:
     groups: int = 0
     #: True when a parallel run was abandoned and replayed serially.
     fell_back: bool = False
+    #: Why this block ran serially, or "" when it ran parallel.  One of
+    #: ``small_block`` (too few txs / one lane), ``no_hints`` (predicted
+    #: collapse into one group driven by a hint-less contract),
+    #: ``predicted_conflict`` (one group despite hints), ``conflict``
+    #: (recorded-set conflict after an optimistic run), ``exception``
+    #: (lane raised outside the VM's revert envelope), ``validator_read``
+    #: (a tx read the validator account mid-block, so fee deferral would
+    #: be visible).
+    serial_cause: str = ""
+    #: Lane -> number of transactions executed on it (parallel runs only).
+    lane_txs: dict[int, int] = field(default_factory=dict)
+    #: Predicted-conflict merge keys ("kind:address") -> how many group
+    #: merges that key caused.  This is the conflict matrix the ops plane
+    #: aggregates to show which contracts/accounts cost parallelism.
+    conflict_keys: dict[str, int] = field(default_factory=dict)
+    #: Transactions whose target contract supplied slot-level access hints.
+    hinted_txs: int = 0
+    #: Transactions grouped on a whole-contract path for lack of hints.
+    unhinted_txs: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -125,13 +151,19 @@ def _anchor_address(tx: Transaction) -> str:
     return tx.to or tx.sender
 
 
-def predicted_paths(state: WorldState, tx: Transaction) -> set[tuple]:
+def predicted_paths(state: WorldState, tx: Transaction,
+                    meta: Optional[dict] = None) -> set[tuple]:
     """Best-effort prediction of the state paths ``tx`` may touch.
 
     Used only for grouping; the recorded sets are validated afterwards, so
     an optimistic (too narrow) prediction costs a serial replay, never
-    correctness.
+    correctness.  When ``meta`` is given it receives ``{"hinted": bool}`` —
+    False exactly when the target contract declared no
+    :meth:`~repro.chain.contract.Contract.access_hints` for this call and
+    grouping had to assume the whole contract.
     """
+    if meta is not None:
+        meta["hinted"] = True
     paths: set[tuple] = {("acct", tx.sender)}
     if tx.to is CREATE:
         address = VM.contract_address_for(tx.sender, tx.nonce)
@@ -154,6 +186,8 @@ def predicted_paths(state: WorldState, tx: Transaction) -> set[tuple]:
             hints = None
     if hints is None:
         paths.add(("store", tx.to))
+        if meta is not None:
+            meta["hinted"] = False
     else:
         for hint in hints:
             paths.add(("store", tx.to) + tuple(hint))
@@ -182,27 +216,59 @@ class _UnionFind:
             self.parent[rb] = ra
 
 
-def _group_transactions(state: WorldState,
-                        txs: list[Transaction]) -> list[list[int]]:
-    """Partition tx indices into predicted conflict groups (block order)."""
+def _merge_key(path: tuple) -> str:
+    """Human-readable conflict-matrix key for a predicted-path merge."""
+    return f"{path[0]}:{path[1]}" if len(path) > 1 else str(path[0])
+
+
+def _group_transactions(state: WorldState, txs: list[Transaction],
+                        stats: Optional[dict] = None) -> list[list[int]]:
+    """Partition tx indices into predicted conflict groups (block order).
+
+    When ``stats`` is given it receives ``hinted``/``unhinted`` tx counts
+    and ``merges``: a ``{merge key: count}`` map of which contract/account
+    paths actually caused two groups to fuse — the data behind the ops
+    plane's conflict matrix.
+    """
     uf = _UnionFind(len(txs))
     exact: dict[tuple, int] = {}
     cover: dict[tuple, set[int]] = {}
+    merges: dict[str, int] = {}
+    hinted = unhinted = 0
+
+    def merge(index: int, holder: int, path: tuple) -> None:
+        if uf.find(index) != uf.find(holder):
+            key = _merge_key(path)
+            merges[key] = merges.get(key, 0) + 1
+        uf.union(index, holder)
+
     for index, tx in enumerate(txs):
-        paths = predicted_paths(state, tx)
+        meta: dict = {}
+        # Sorted so the path that gets *credited* with a merge is stable
+        # across processes (set order varies with hash randomization);
+        # grouping itself is order-independent, attribution is not.
+        paths = sorted(predicted_paths(state, tx, meta))
+        if meta.get("hinted", True):
+            hinted += 1
+        else:
+            unhinted += 1
         for path in paths:
             # Transactions whose full predicted path is a prefix of ours.
             for cut in range(1, len(path) + 1):
                 holder = exact.get(path[:cut])
                 if holder is not None:
-                    uf.union(index, holder)
+                    merge(index, holder, path[:cut])
             # Transactions with a longer predicted path underneath ours.
             for holder in cover.get(path, ()):
-                uf.union(index, holder)
+                merge(index, holder, path)
         for path in paths:
             exact[path] = index
             for cut in range(1, len(path)):
                 cover.setdefault(path[:cut], set()).add(index)
+    if stats is not None:
+        stats["hinted"] = hinted
+        stats["unhinted"] = unhinted
+        stats["merges"] = merges
     groups: dict[int, list[int]] = {}
     for index in range(len(txs)):
         groups.setdefault(uf.find(index), []).append(index)
@@ -254,6 +320,18 @@ class _FallbackNeeded(Exception):
         self.reason = reason
 
 
+def _serial_cause(cause: str) -> None:
+    child = _SERIAL_CAUSES.labels(cause=cause)
+    child.inc()
+    _tm.annotate_exemplar(child)
+
+
+def _annotate_grouping(result: BlockExecution, grouping: dict) -> None:
+    result.conflict_keys = grouping.get("merges", {})
+    result.hinted_txs = grouping.get("hinted", 0)
+    result.unhinted_txs = grouping.get("unhinted", 0)
+
+
 def execute_parallel(vm: VM, state: WorldState, block: BlockContext,
                      txs: list[Transaction], *,
                      skip_signature: bool = False,
@@ -265,32 +343,52 @@ def execute_parallel(vm: VM, state: WorldState, block: BlockContext,
     equivalence triggers a snapshot-restore and a serial replay.
     """
     if len(txs) < 2 or lanes <= 1:
-        return execute_serial(vm, state, block, txs,
-                              skip_signature=skip_signature)
-    groups = _group_transactions(state, txs)
+        result = execute_serial(vm, state, block, txs,
+                                skip_signature=skip_signature)
+        if txs:
+            result.serial_cause = "small_block"
+            _serial_cause(result.serial_cause)
+        return result
+    grouping: dict = {}
+    groups = _group_transactions(state, txs, grouping)
     if len(groups) < 2:
         # Everything predicted-conflicts into one group: nothing to overlap.
         result = execute_serial(vm, state, block, txs,
                                 skip_signature=skip_signature)
         result.groups = 1
+        # A hint-less contract widens its predictions to the whole
+        # contract, which is the usual reason a block collapses; blame it
+        # only when such a tx is actually present.
+        result.serial_cause = ("no_hints" if grouping.get("unhinted")
+                               else "predicted_conflict")
+        _serial_cause(result.serial_cause)
+        _annotate_grouping(result, grouping)
         return result
     snapshot = state.snapshot()
     try:
-        outcomes, trackers = _run_groups(
+        outcomes, trackers, lane_txs = _run_groups(
             vm, state, block, txs, groups,
             skip_signature=skip_signature, lanes=lanes,
         )
         _validate(trackers, groups, block.validator)
     except _FallbackNeeded as fallback:
         state.restore(snapshot)
-        _PARALLEL_FALLBACKS.labels(reason=fallback.reason).inc()
+        child = _PARALLEL_FALLBACKS.labels(reason=fallback.reason)
+        child.inc()
+        _tm.annotate_exemplar(child)
         _PARALLEL_BLOCKS.labels(outcome="fallback").inc()
         result = execute_serial(vm, state, block, txs,
                                 skip_signature=skip_signature)
         result.fell_back = True
+        result.groups = len(groups)
+        result.serial_cause = fallback.reason
+        _serial_cause(result.serial_cause)
+        _annotate_grouping(result, grouping)
         return result
     # Commit: receipts and fees in serial block order.
     result = BlockExecution(groups=len(groups))
+    result.lane_txs = lane_txs
+    _annotate_grouping(result, grouping)
     for index, tx in enumerate(txs):
         kind, payload = outcomes[index]
         if kind == "ok":
@@ -311,12 +409,18 @@ def execute_parallel(vm: VM, state: WorldState, block: BlockContext,
 def _run_groups(vm: VM, state: WorldState, block: BlockContext,
                 txs: list[Transaction], groups: list[list[int]], *,
                 skip_signature: bool,
-                lanes: int) -> tuple[dict, dict]:
-    """Execute groups on sharded lanes; returns per-tx outcomes/trackers."""
+                lanes: int) -> tuple[dict, dict, dict]:
+    """Execute groups on sharded lanes.
+
+    Returns per-tx outcomes, per-tx access trackers, and the lane
+    occupancy map (lane -> tx count) the attribution report renders.
+    """
     lane_work: dict[int, list[list[int]]] = {}
     for group in groups:
         lane = shard_of(_anchor_address(txs[group[0]]), lanes)
         lane_work.setdefault(lane, []).append(group)
+    lane_txs = {lane: sum(len(group) for group in lane_groups)
+                for lane, lane_groups in sorted(lane_work.items())}
     outcomes: dict[int, tuple] = {}
     trackers: dict[int, AccessTracker] = {}
 
@@ -351,7 +455,7 @@ def _run_groups(vm: VM, state: WorldState, block: BlockContext,
         errors = [f.exception() for f in futures]
     if any(errors):
         raise _FallbackNeeded("exception")
-    return outcomes, trackers
+    return outcomes, trackers, lane_txs
 
 
 def _validate(trackers: dict[int, AccessTracker], groups: list[list[int]],

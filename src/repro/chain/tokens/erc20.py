@@ -46,6 +46,23 @@ class ERC20Token(Contract):
             return [("allowances", args.get("owner"), args.get("spender"))]
         return None
 
+    def audit_invariants(self, state) -> list[str]:
+        """Supply conservation: issued balances must sum to total_supply."""
+        balances = self.storage.get("balances", {})
+        problems = []
+        negative = sorted(owner for owner, amount in balances.items()
+                          if amount < 0)
+        for owner in negative:
+            problems.append(f"negative token balance for {owner}")
+        total = self.storage.get("total_supply", 0)
+        issued = sum(balances.values())
+        if issued != total:
+            problems.append(
+                f"token supply mismatch: balances sum to {issued}, "
+                f"total_supply is {total}"
+            )
+        return problems
+
     def setup(self, name: str = "PDS2 Token", symbol: str = "PDS",
               decimals: int = 18, initial_supply: int = 0,
               minter: str | None = None) -> None:

@@ -60,6 +60,30 @@ class ERC721Token(Contract):
             return [("operator_approvals", args.get("owner"))]
         return None
 
+    def audit_invariants(self, state) -> list[str]:
+        """Deed conservation: ownership records and balances must agree."""
+        owners = self.storage.get("owners", {})
+        balances = self.storage.get("balances", {})
+        problems = []
+        held: dict[str, int] = {}
+        for owner in owners.values():
+            held[owner] = held.get(owner, 0) + 1
+        recorded = {owner: count for owner, count in balances.items()
+                    if count != 0}
+        if held != recorded:
+            drifted = sorted(set(held) ^ set(recorded)
+                             | {owner for owner in set(held) & set(recorded)
+                                if held[owner] != recorded[owner]})
+            problems.append(
+                f"deed balance drift: ownership map and balances disagree "
+                f"for {', '.join(drifted) or 'unknown owners'}"
+            )
+        next_id = self.storage.get("next_id", 0)
+        stray = sorted(token for token in owners if int(token) >= next_id)
+        for token in stray:
+            problems.append(f"deed {token} exists beyond next_id {next_id}")
+        return problems
+
     def setup(self, name: str = "PDS2 Deed", symbol: str = "DEED",
               minter: str | None = None) -> None:
         """Initialize the collection; the deployer is the default minter."""

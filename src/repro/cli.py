@@ -955,6 +955,126 @@ def _cmd_batch(args: argparse.Namespace, out: OutputWriter) -> int:
     return 2
 
 
+def _chain_run(args: argparse.Namespace, out: OutputWriter) -> int:
+    """Mine a deterministic synthetic workload into a run directory."""
+    import numpy as np
+
+    from repro.chain.audit import install_state_corruption
+    from repro.chain.blockchain import Blockchain, Wallet
+    from repro.chain.consensus import ProofOfAuthority
+    from repro.chain.observe import ChainRunRecorder
+
+    rng = np.random.default_rng(args.seed)
+    consensus = ProofOfAuthority.with_generated_validators(1, rng)
+    chain = Blockchain(consensus, verify_mode="mined",
+                       execution=args.execution)
+    recorder = ChainRunRecorder(args.root)
+    recorder.attach(chain)
+    wallets = [Wallet.generate(chain, rng, f"w{index}")
+               for index in range(args.wallets)]
+    for wallet in wallets:
+        chain.state.credit(wallet.address, 10**12)
+    # A funded bystander that never transacts: under a corrupt_state fault
+    # it is a candidate victim, and the forensic bundle can then name it.
+    chain.state.credit("0x" + "b7" * 20, 10**9)
+    if args.corrupt_block is not None:
+        install_state_corruption(chain, args.corrupt_block, seed=args.seed)
+    token = wallets[0].deploy_and_mine("erc20", initial_supply=10**9)
+    for wallet in wallets[1:]:
+        wallets[0].call(token, "transfer", recipient=wallet.address,
+                        amount=10**6)
+    chain.mine_block()
+    count = len(wallets)
+    for block in range(args.blocks):
+        # Disjoint transfer pairs so the parallel engine has real groups;
+        # every third block goes through the token for a mixed tx profile.
+        offset = 1 + int(rng.integers(1, max(2, count - 1)))
+        for index, wallet in enumerate(wallets):
+            partner = wallets[(index + offset) % count]
+            if partner is wallet:
+                continue
+            if block % 3 == 2:
+                wallet.call(token, "transfer", recipient=partner.address,
+                            amount=1 + int(rng.integers(1, 50)))
+            else:
+                wallet.transfer(partner.address,
+                                1000 + int(rng.integers(0, 1000)))
+        chain.mine_block()
+    recorder.close(chain)
+    violations = (len(chain.auditor.violations)
+                  if chain.auditor is not None else 0)
+    out.line(f"mined {chain.height} blocks into {args.root} "
+             f"({args.execution} execution)")
+    out.line(f"audit: {violations} violation(s) over "
+             f"{chain.auditor.blocks_checked} blocks")
+    out.set("root", args.root)
+    out.set("blocks", chain.height)
+    out.set("violations", violations)
+    return 0
+
+
+def _chain_top(args: argparse.Namespace, out: OutputWriter) -> int:
+    """Render the chain ops panel from a (possibly live) run directory."""
+    import time as _time
+
+    from repro.chain.observe import read_chain_run, render_chain_top
+
+    data = None
+    while True:
+        data = read_chain_run(args.root)
+        out.line(render_chain_top(data["records"], data["attribution"],
+                                  data["audit"]).rstrip("\n"))
+        # audit.json only appears when the run finalizes — the chain
+        # equivalent of a terminal batch state for --watch.
+        if args.watch is None or data["audit"] is not None:
+            break
+        out.line("")
+        _time.sleep(args.watch)
+    out.set("blocks", len(data["records"]))
+    out.set("attribution", data["attribution"])
+    return 0
+
+
+def _chain_audit(args: argparse.Namespace, out: OutputWriter) -> int:
+    """Report audit verdicts for a finished run; nonzero on violations."""
+    import os as _os
+
+    from repro.chain.observe import read_chain_run
+
+    data = read_chain_run(args.root)
+    audit = data["audit"]
+    if audit is None:
+        out.error(f"no audit report in {args.root!r} (run not finalized, "
+                  "or the auditor was disabled)")
+        return 2
+    checked = audit.get("blocks_checked", 0)
+    violations = audit.get("violations", [])
+    out.line(f"audit: {checked} blocks checked, "
+             f"{len(violations)} violation(s)")
+    for violation in violations:
+        out.line(f"  block {violation.get('block')} "
+                 f"[{violation.get('kind')}] {violation.get('detail')}")
+    forensics = _os.path.join(args.root, "forensics")
+    if violations and _os.path.isdir(forensics):
+        bundles = sorted(_os.listdir(forensics))
+        out.line(f"forensic bundles: "
+                 f"{', '.join(_os.path.join(forensics, b) for b in bundles)}")
+    out.set("blocks_checked", checked)
+    out.set("violations", violations)
+    return 1 if violations else 0
+
+
+def _cmd_chain(args: argparse.Namespace, out: OutputWriter) -> int:
+    if args.chain_command == "run":
+        return _chain_run(args, out)
+    if args.chain_command == "top":
+        return _chain_top(args, out)
+    if args.chain_command == "audit":
+        return _chain_audit(args, out)
+    out.error(f"unknown chain command {args.chain_command!r}")
+    return 2
+
+
 #: Scenario names accepted by `repro faults` (mirrors
 #: ``repro.core.resilience.SCENARIOS``; a test asserts the two match).
 FAULT_SCENARIOS = (
@@ -1223,6 +1343,50 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(chrome://tracing / ui.perfetto.dev)")
     add_json_flag(batch_trace)
     batch_trace.set_defaults(handler=_cmd_batch)
+
+    chain_cmd = subparsers.add_parser(
+        "chain", help="run, watch, and audit the blockchain substrate's "
+                      "ops plane"
+    )
+    chain_sub = chain_cmd.add_subparsers(dest="chain_command", required=True)
+
+    chain_run = chain_sub.add_parser(
+        "run", help="mine a deterministic synthetic workload into a "
+                    "recorded run directory"
+    )
+    chain_run.add_argument("root", help="run directory to create")
+    chain_run.add_argument("--blocks", type=int, default=12,
+                           help="workload blocks to mine (plus setup)")
+    chain_run.add_argument("--wallets", type=int, default=8)
+    chain_run.add_argument("--seed", type=int, default=0)
+    chain_run.add_argument("--execution", choices=("serial", "parallel"),
+                           default="parallel")
+    chain_run.add_argument("--corrupt-block", type=int, default=None,
+                           metavar="N",
+                           help="arm a corrupt_state fault right after "
+                                "block N seals (auditor must catch it)")
+    add_json_flag(chain_run)
+    chain_run.set_defaults(handler=_cmd_chain)
+
+    chain_top = chain_sub.add_parser(
+        "top", help="ops panel: utilization, fees, mempool, lanes, "
+                    "serial causes, audit verdict"
+    )
+    chain_top.add_argument("root", help="chain run directory")
+    chain_top.add_argument("--watch", type=float, default=None,
+                           metavar="SECONDS",
+                           help="refresh every SECONDS until the run "
+                                "finalizes (default: print once)")
+    add_json_flag(chain_top)
+    chain_top.set_defaults(handler=_cmd_chain)
+
+    chain_audit = chain_sub.add_parser(
+        "audit", help="report invariant-audit verdicts for a finished "
+                      "run (exit 1 on violations)"
+    )
+    chain_audit.add_argument("root", help="chain run directory")
+    add_json_flag(chain_audit)
+    chain_audit.set_defaults(handler=_cmd_chain)
     return parser
 
 

@@ -436,6 +436,7 @@ def _batch_equation_holds(entries: list[tuple[int, int, _Point, _Point]]) -> boo
 
 def batch_verify(
     items: list[tuple[PublicKey, bytes, Signature]],
+    stats: Optional[dict] = None,
 ) -> list[bool]:
     """Verify many ``(public_key, message, signature)`` triples at once.
 
@@ -447,6 +448,12 @@ def batch_verify(
     nonce point cannot be recovered from ``(r, v)`` (corrupted parity bit,
     non-residue x) are verified individually; the individual path is always
     the authoritative oracle.
+
+    When a ``stats`` dict is passed it is filled with bisection telemetry:
+    ``batched`` (items entering the multi-scalar path), ``singles`` (items
+    routed to the individual oracle), ``subchecks`` (batch equations
+    evaluated) and ``depth`` (deepest bisection level; 0 when the first
+    equation held).
     """
     verdicts: list[Optional[bool]] = [None] * len(items)
     singles: list[int] = []
@@ -483,20 +490,26 @@ def batch_verify(
         ))
 
     began = _time.perf_counter()
+    subchecks = 0
+    max_depth = 0
 
-    def resolve(entries: list[tuple[int, int, int, _Point, _Point]]) -> None:
+    def resolve(entries: list[tuple[int, int, int, _Point, _Point]],
+                depth: int = 0) -> None:
+        nonlocal subchecks, max_depth
         if not entries:
             return
         if len(entries) == 1:
             singles.append(entries[0][0])
             return
+        subchecks += 1
+        max_depth = max(max_depth, depth)
         if _batch_equation_holds([entry[1:] for entry in entries]):
             for entry in entries:
                 verdicts[entry[0]] = True
             return
         mid = len(entries) // 2
-        resolve(entries[:mid])
-        resolve(entries[mid:])
+        resolve(entries[:mid], depth + 1)
+        resolve(entries[mid:], depth + 1)
 
     resolve(batch)
     if batch:
@@ -510,6 +523,11 @@ def batch_verify(
     for index in singles:
         public_key, message, signature = items[index]
         verdicts[index] = public_key.verify(message, signature)
+    if stats is not None:
+        stats["batched"] = len(batch)
+        stats["singles"] = len(singles)
+        stats["subchecks"] = subchecks
+        stats["depth"] = max_depth
     return [bool(verdict) for verdict in verdicts]
 
 

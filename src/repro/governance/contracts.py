@@ -134,6 +134,42 @@ class DataRegistry(Contract):
 class WorkloadContract(Contract):
     """Per-workload escrow, participation ledger and payout engine."""
 
+    def audit_invariants(self, state) -> list[str]:
+        """Escrow backing: unsettled workloads must hold their pool.
+
+        While a workload is OPEN or EXECUTING the escrowed reward has not
+        been paid out, so the contract account (native pool) or the reward
+        token's ledger (ERC-20 pool) must still hold at least the recorded
+        ``escrow``.  Settled states release the pool, so the slot carries
+        no obligation there.
+        """
+        if self.storage.get("state") not in (STATE_OPEN, STATE_EXECUTING):
+            return []
+        escrow = self.storage.get("escrow", 0)
+        if escrow < 0:
+            return [f"negative escrow {escrow}"]
+        if escrow == 0:
+            return []
+        token = self.storage.get("reward_token")
+        if token is None:
+            held = state.balances.get(self.address, 0)
+            if held < escrow:
+                return [
+                    f"native escrow underfunded: holds {held}, "
+                    f"owes {escrow}"
+                ]
+            return []
+        token_contract = state.contracts.get(token)
+        if token_contract is None:
+            return [f"reward token {token} does not exist"]
+        held = token_contract.storage.get("balances", {}).get(self.address, 0)
+        if held < escrow:
+            return [
+                f"token escrow underfunded: holds {held} of {token}, "
+                f"owes {escrow}"
+            ]
+        return []
+
     def setup(self, spec_hash: str, code_measurement: str,
               min_providers: int = 1, min_samples: int = 1,
               infra_share_bps: int = 1000,

@@ -633,3 +633,28 @@ def histogram(name: str, help: str = "",
     return REGISTRY.histogram(name, help, buckets=buckets,
                               labelnames=labelnames,
                               max_label_sets=max_label_sets)
+
+
+def annotate_exemplar(child: object) -> None:
+    """Exemplar-stamp a counter child from the ambient trace context.
+
+    Picks up the distributed ``trace_id`` the control plane puts in the
+    tracer's ambient context while a batch job runs, plus any
+    ``fault_kind`` annotation the fault injector stamped on an open span —
+    so chain/mempool counters join the exemplar pipeline the batch
+    counters already feed.  No-op (and allocation-free) when neither is
+    present, which is the common hot-path case.
+    """
+    from repro.telemetry.tracing import tracer
+
+    t = tracer()
+    trace_id = t.context.get("trace_id")
+    fault_kind = t.current_attribute("fault_kind")
+    if trace_id is None and fault_kind is None:
+        return
+    labels: dict[str, object] = {}
+    if trace_id is not None:
+        labels["trace_id"] = trace_id
+    if fault_kind is not None:
+        labels["fault_kind"] = fault_kind
+    child.set_exemplar(**labels)  # type: ignore[attr-defined]

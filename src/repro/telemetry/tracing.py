@@ -127,6 +127,19 @@ class Tracer:
     def depth(self) -> int:
         return len(self._stack)
 
+    def current_attribute(self, key: str, default: Any = None) -> Any:
+        """Innermost value of ``key`` on the open span stack (or context).
+
+        Used to read ambient annotations a caller higher up the stack
+        stamped on its span — e.g. the ``fault_kind`` the fault injector
+        sets — without threading them through every signature.  Falls back
+        to the ambient :attr:`context` map, then ``default``.
+        """
+        for span in reversed(self._stack):
+            if key in span.attributes:
+                return span.attributes[key]
+        return self.context.get(key, default)
+
     def add_exporter(self, exporter: Callable[[Span], None]) -> None:
         """Attach a secondary finish hook (idempotent)."""
         if exporter not in self.exporters:
